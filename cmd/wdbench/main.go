@@ -1,0 +1,56 @@
+// Command wdbench runs the experiment suite E1–E7 that reproduces the
+// constructions and complexity claims of "The Tractability Frontier of
+// Well-designed SPARQL Queries" (Romero, PODS 2018) and prints one
+// table per experiment. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	wdbench [-only E3] [-full]
+//
+// -full extends the E3 sweep into the regime where the natural
+// algorithm needs tens of seconds per instance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wdsparql/internal/bench"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (E1..E7, A1..A3, M1)")
+	full := flag.Bool("full", false, "extended sweeps (E3 up to k=7; ~1 min extra)")
+	ablations := flag.Bool("ablations", false, "also run the ablation suite A1..A3")
+	micro := flag.Bool("micro", false, "also run the micro-benchmarks M1")
+	flag.Parse()
+
+	if *only != "" && !validID(*only) {
+		fmt.Fprintf(os.Stderr, "wdbench: unknown experiment %q (want E1..E7, A1..A3 or M1)\n", *only)
+		os.Exit(2)
+	}
+	tables := bench.Suite(*full)
+	if *ablations || strings.HasPrefix(strings.ToUpper(*only), "A") {
+		tables = append(tables, bench.Ablations()...)
+	}
+	if *micro || strings.HasPrefix(strings.ToUpper(*only), "M") {
+		tables = append(tables, bench.Micro()...)
+	}
+	for _, t := range tables {
+		if *only != "" && !strings.EqualFold(t.ID, *only) {
+			continue
+		}
+		t.Render(os.Stdout)
+	}
+}
+
+func validID(id string) bool {
+	switch strings.ToUpper(id) {
+	case "E1", "E2", "E3", "E4", "E5", "E6", "E7", "A1", "A2", "A3", "M1":
+		return true
+	}
+	return false
+}

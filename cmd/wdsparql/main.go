@@ -1,0 +1,164 @@
+// Command wdsparql evaluates a well-designed SPARQL graph pattern over
+// an RDF graph.
+//
+// Usage:
+//
+//	wdsparql -query '((?x p ?y) OPT (?y q ?z))' -data graph.nt [flags]
+//
+// With -mu the command decides wdEVAL for one mapping; without it the
+// full solution set ⟦P⟧G is printed. The -algo flag selects between
+// the natural algorithm ("naive"), the Theorem 1 pebble algorithm
+// ("pebble", with -k the domination-width bound) and the compositional
+// reference semantics ("compositional").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wdsparql/internal/core"
+	"wdsparql/internal/ptree"
+	"wdsparql/internal/rdf"
+	"wdsparql/internal/sparql"
+)
+
+func main() {
+	query := flag.String("query", "", "graph pattern, e.g. '((?x p ?y) OPT (?y q ?z))'")
+	dataPath := flag.String("data", "", "RDF graph file (N-Triples subset); '-' for stdin")
+	muArg := flag.String("mu", "", "mapping to test, e.g. 'x=a,y=b'; empty prints all solutions")
+	algo := flag.String("algo", "naive", "naive | pebble | compositional | topdown")
+	k := flag.Int("k", 1, "domination-width bound for -algo pebble")
+	stats := flag.Bool("stats", false, "print data statistics and evaluation counters")
+	flag.Parse()
+
+	if *query == "" || *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "wdsparql: -query and -data are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	pattern, err := sparql.Parse(*query)
+	if err != nil {
+		fatal(err)
+	}
+	if err := sparql.CheckWellDesigned(pattern); err != nil {
+		fatal(err)
+	}
+	g, err := readGraph(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "data: %s\n", rdf.Stats(g))
+	}
+
+	if *muArg == "" {
+		printSolutions(pattern, g, *algo)
+		return
+	}
+	mu, err := parseMu(*muArg)
+	if err != nil {
+		fatal(err)
+	}
+	ans, err := decide(pattern, g, mu, *algo, *k, *stats)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("µ %s ⟦P⟧G\n", map[bool]string{true: "∈", false: "∉"}[ans])
+	if !ans {
+		os.Exit(1)
+	}
+}
+
+func readGraph(path string) (*rdf.Graph, error) {
+	if path == "-" {
+		return rdf.ReadGraph(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return rdf.ReadGraph(f)
+}
+
+func parseMu(s string) (rdf.Mapping, error) {
+	mu := rdf.NewMapping()
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("wdsparql: bad binding %q (want var=iri)", part)
+		}
+		mu[strings.TrimPrefix(strings.TrimSpace(kv[0]), "?")] = strings.TrimSpace(kv[1])
+	}
+	return mu, nil
+}
+
+func decide(p sparql.Pattern, g *rdf.Graph, mu rdf.Mapping, algo string, k int, stats bool) (bool, error) {
+	switch algo {
+	case "compositional":
+		return sparql.Contains(p, g, mu), nil
+	case "topdown":
+		f, err := ptree.WDPF(p)
+		if err != nil {
+			return false, err
+		}
+		return core.EnumerateTopDownForest(f, g).Contains(mu), nil
+	case "naive", "pebble":
+		f, err := ptree.WDPF(p)
+		if err != nil {
+			return false, err
+		}
+		if algo == "naive" {
+			ans, st := core.EvalNaiveStats(f, g, mu)
+			if stats {
+				fmt.Fprintf(os.Stderr, "naive: trees=%d matched=%d extension-tests=%d\n",
+					st.TreesProbed, st.SubtreesMatched, st.ExtensionTests)
+			}
+			return ans, nil
+		}
+		ans, st := core.EvalPebbleStats(k, f, g, mu)
+		if stats {
+			fmt.Fprintf(os.Stderr, "pebble(k=%d): trees=%d matched=%d tests=%d assignments=%d\n",
+				k, st.TreesProbed, st.SubtreesMatched, st.ExtensionTests, st.PebbleAssignments)
+		}
+		return ans, nil
+	}
+	return false, fmt.Errorf("wdsparql: unknown algorithm %q", algo)
+}
+
+func printSolutions(p sparql.Pattern, g *rdf.Graph, algo string) {
+	var set *rdf.MappingSet
+	switch algo {
+	case "compositional":
+		set = sparql.EvalHashJoin(p, g)
+	case "topdown":
+		f, err := ptree.WDPF(p)
+		if err != nil {
+			fatal(err)
+		}
+		set = core.EnumerateTopDownForest(f, g)
+	default:
+		f, err := ptree.WDPF(p)
+		if err != nil {
+			fatal(err)
+		}
+		set = core.EnumerateForest(f, g)
+	}
+	for _, mu := range set.Slice() {
+		fmt.Println(mu)
+	}
+	fmt.Fprintf(os.Stderr, "%d solution(s)\n", set.Len())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

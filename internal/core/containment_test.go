@@ -1,0 +1,122 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"wdsparql/internal/core"
+	"wdsparql/internal/gen"
+	"wdsparql/internal/ptree"
+	"wdsparql/internal/sparql"
+)
+
+func forestOf(t *testing.T, src string) ptree.Forest {
+	t.Helper()
+	f, err := ptree.WDPF(sparql.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestRefuteContainmentBasic(t *testing.T) {
+	p1 := forestOf(t, `(?x p ?y)`)
+	p2 := forestOf(t, `((?x p ?y) OPT (?y q ?z))`)
+	// ⟦P2⟧ ⊄ ⟦P1⟧: an extended solution {x,y,z} is never in ⟦P1⟧.
+	ce, ok := core.RefuteContainment(p2, p1)
+	if !ok {
+		t.Fatal("expected counterexample for P2 ⊑ P1")
+	}
+	if !ce.Verify(p2, p1) {
+		t.Fatal("counterexample must verify")
+	}
+	// ⟦P1⟧ ⊄ ⟦P2⟧ either: on data with a q-edge, the bare pair is a
+	// P1-solution but not maximal for P2.
+	ce, ok = core.RefuteContainment(p1, p2)
+	if !ok {
+		t.Fatal("expected counterexample for P1 ⊑ P2")
+	}
+	if !ce.Verify(p1, p2) {
+		t.Fatal("counterexample must verify")
+	}
+}
+
+func TestRefuteContainmentIdentity(t *testing.T) {
+	p := forestOf(t, `((?x p ?y) OPT (?y q ?z))`)
+	if _, ok := core.RefuteContainment(p, p); ok {
+		t.Fatal("a query contains itself")
+	}
+	if _, _, ok := core.RefuteEquivalence(p, p); ok {
+		t.Fatal("a query is equivalent to itself")
+	}
+}
+
+func TestRefuteContainmentUnionSuperset(t *testing.T) {
+	// F1 = single branch, F2 = F1 UNION something: ⟦F1⟧ ⊆ ⟦F2⟧ holds;
+	// the refuter must stay silent in that direction and fire in the
+	// other.
+	f1 := forestOf(t, `((?x p ?y) OPT (?y q ?z))`)
+	f2 := forestOf(t, `((?x p ?y) OPT (?y q ?z)) UNION (?a r ?b)`)
+	if ce, ok := core.RefuteContainment(f1, f2); ok {
+		t.Fatalf("false counterexample: %v over %s", ce.Mu, ce.G)
+	}
+	ce, ok := core.RefuteContainment(f2, f1)
+	if !ok {
+		t.Fatal("the r-branch escapes F1")
+	}
+	if !ce.Verify(f2, f1) {
+		t.Fatal("verify")
+	}
+}
+
+// All counterexamples found on random pattern pairs must verify
+// (soundness), and identical forests never yield one.
+func TestQuickRefuteContainmentSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	found := 0
+	for trial := 0; trial < 60; trial++ {
+		p1, ok1 := gen.RandomWDPattern(rng, gen.PatternOpts{Depth: 2})
+		p2, ok2 := gen.RandomWDPattern(rng, gen.PatternOpts{Depth: 2})
+		if !ok1 || !ok2 {
+			t.Fatal("generator failed")
+		}
+		f1, err := ptree.WDPF(p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2, err := ptree.WDPF(p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ce, ok := core.RefuteContainment(f1, f2); ok {
+			found++
+			if !ce.Verify(f1, f2) {
+				t.Fatalf("unsound counterexample for %s ⊑ %s", p1, p2)
+			}
+		}
+		if _, ok := core.RefuteContainment(f1, f1); ok {
+			t.Fatalf("self-containment refuted for %s", p1)
+		}
+	}
+	if found == 0 {
+		t.Fatal("refuter never fired on random pairs; suspicious")
+	}
+}
+
+// The Example 4 forest: T2's solutions over its own canonical
+// instances are covered by F_k (trivially, T2 ∈ F_k), but T2 alone
+// does not contain F_k.
+func TestRefuteContainmentFk(t *testing.T) {
+	f := gen.Fk(2)
+	t2 := ptree.Forest{f[1]}
+	if _, ok := core.RefuteContainment(t2, f); ok {
+		t.Fatal("T2 ⊑ F_k must hold (T2 is a branch of F_k)")
+	}
+	ce, ok := core.RefuteContainment(f, t2)
+	if !ok {
+		t.Fatal("F_k ⊄ T2")
+	}
+	if !ce.Verify(f, t2) {
+		t.Fatal("verify")
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"wdsparql/internal/hom"
+	"wdsparql/internal/pebble"
+	"wdsparql/internal/ptree"
+	"wdsparql/internal/rdf"
+)
+
+// This file implements the evaluation algorithms for wdPFs:
+//
+//   - EvalNaive: the natural algorithm (Lemma 1 of the paper, following
+//     Letelier et al. and Pichler–Skritek): find, per tree, the unique
+//     subtree matched exactly by µ and verify that no child admits a
+//     compatible homomorphic extension. The extension tests are genuine
+//     homomorphism tests, so the algorithm is exponential in the query
+//     in the worst case (wdEVAL is coNP-complete).
+//
+//   - EvalPebble: Theorem 1's algorithm — identical control flow, but
+//     each extension test (pat(Tµ) ∪ pat(n), vars(Tµ)) →µ G is replaced
+//     by the existential (k+1)-pebble game, which is decidable in
+//     polynomial time. The algorithm is always sound (a rejection is
+//     definitive) and complete whenever dw(F) ≤ k.
+//
+//   - Enumerate: materialises ⟦T⟧G / ⟦F⟧G via Lemma 1 by iterating over
+//     all subtrees; used by examples and as a second reference
+//     implementation in tests.
+
+// FindMatchedSubtree returns the unique subtree Tµ of t such that µ is
+// a homomorphism from pat(Tµ) to G with vars(Tµ) = dom(µ), when it
+// exists. Uniqueness follows from NR normal form.
+func FindMatchedSubtree(t *ptree.Tree, g *rdf.Graph, mu rdf.Mapping) (ptree.Subtree, bool) {
+	s, ok := ptree.WitnessSubtree(t, mu.Dom())
+	if !ok {
+		return ptree.Subtree{}, false
+	}
+	for _, tr := range s.Pattern() {
+		img := mu.Apply(tr)
+		if !img.Ground() || !g.Contains(img) {
+			return ptree.Subtree{}, false
+		}
+	}
+	return s, true
+}
+
+// EvalNaive decides µ ∈ ⟦F⟧G with the natural algorithm.
+func EvalNaive(f ptree.Forest, g *rdf.Graph, mu rdf.Mapping) bool {
+	for _, t := range f {
+		s, ok := FindMatchedSubtree(t, g, mu)
+		if !ok {
+			continue
+		}
+		extendable := false
+		for _, n := range s.Children() {
+			if hom.ExistsExtending(n.Pattern, mu, g) {
+				extendable = true
+				break
+			}
+		}
+		if !extendable {
+			return true
+		}
+	}
+	return false
+}
+
+// EvalPebble decides µ ∈ ⟦F⟧G with the Theorem 1 algorithm using
+// (k+1)-pebble tests. The answer is guaranteed correct when
+// dw(F) ≤ k; it is always sound in the following sense: if
+// µ ∉ ⟦F⟧G the algorithm rejects regardless of k.
+func EvalPebble(k int, f ptree.Forest, g *rdf.Graph, mu rdf.Mapping) bool {
+	if k < 1 {
+		panic(fmt.Sprintf("core: EvalPebble requires k ≥ 1, got %d", k))
+	}
+	for _, t := range f {
+		s, ok := FindMatchedSubtree(t, g, mu)
+		if !ok {
+			continue
+		}
+		x := s.Vars()
+		extendable := false
+		for _, n := range s.Children() {
+			union := s.Pattern().Union(n.Pattern)
+			gt := hom.NewGTGraph(union, x)
+			if pebble.Decide(k+1, gt, mu.Restrict(x), g) {
+				extendable = true
+				break
+			}
+		}
+		if !extendable {
+			return true
+		}
+	}
+	return false
+}
+
+// Enumerate computes ⟦T⟧G by Lemma 1, iterating over every subtree T'
+// of T: a mapping µ with dom(µ) = vars(T') is a solution iff µ is a
+// homomorphism from pat(T') to G and no child of T' admits a
+// compatible extension. Exponential in the tree size; intended for
+// small trees (examples, tests, ground truth).
+func Enumerate(t *ptree.Tree, g *rdf.Graph) *rdf.MappingSet {
+	out := rdf.NewMappingSet()
+	for _, s := range ptree.EnumerateSubtrees(t) {
+		pat := s.Pattern()
+		children := s.Children()
+		for _, mu := range hom.FindAll(pat, g, 0) {
+			maximal := true
+			for _, n := range children {
+				if hom.ExistsExtending(n.Pattern, mu, g) {
+					maximal = false
+					break
+				}
+			}
+			if maximal {
+				out.Add(mu)
+			}
+		}
+	}
+	return out
+}
+
+// EnumerateForest computes ⟦F⟧G = ⟦T1⟧G ∪ ... ∪ ⟦Tm⟧G.
+func EnumerateForest(f ptree.Forest, g *rdf.Graph) *rdf.MappingSet {
+	out := rdf.NewMappingSet()
+	for _, t := range f {
+		out.AddAll(Enumerate(t, g))
+	}
+	return out
+}
+
+// Algorithm selects an evaluation strategy by name, for the CLI and
+// the benchmark harness.
+type Algorithm uint8
+
+const (
+	// AlgNaive is the Lemma 1 natural algorithm with homomorphism tests.
+	AlgNaive Algorithm = iota
+	// AlgPebble is the Theorem 1 algorithm with pebble-game tests.
+	AlgPebble
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgNaive:
+		return "naive"
+	case AlgPebble:
+		return "pebble"
+	}
+	return fmt.Sprintf("Algorithm(%d)", uint8(a))
+}
+
+// Eval dispatches to the selected algorithm; k is the domination-width
+// bound used by AlgPebble and ignored by AlgNaive.
+func Eval(a Algorithm, k int, f ptree.Forest, g *rdf.Graph, mu rdf.Mapping) bool {
+	switch a {
+	case AlgNaive:
+		return EvalNaive(f, g, mu)
+	case AlgPebble:
+		return EvalPebble(k, f, g, mu)
+	}
+	panic("core: unknown algorithm")
+}

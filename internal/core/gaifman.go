@@ -1,0 +1,64 @@
+// Package core implements the paper's primary contributions: the
+// width measures of Section 3 — treewidth of generalised t-graphs,
+// core treewidth ctw, branch treewidth bw (Definition 3), domination
+// width dw (Definitions 1 and 2), and the local-tractability condition
+// of Letelier et al. — together with the evaluation algorithms: the
+// natural (coNP-flavoured) wdPF algorithm of Lemma 1 and the
+// polynomial-time existential-pebble-game algorithm of Theorem 1.
+package core
+
+import (
+	"wdsparql/internal/graphalg"
+	"wdsparql/internal/hom"
+	"wdsparql/internal/rdf"
+)
+
+// GaifmanGraph returns G(S, X): the undirected graph whose vertices
+// are vars(S) \ X and whose edges join distinct variables co-occurring
+// in a triple pattern of S (Section 3 of the paper). Vertex labels are
+// the variable names; the returned slice maps vertex ids back to
+// variable terms.
+func GaifmanGraph(g hom.GTGraph) (*graphalg.UGraph, []rdf.Term) {
+	free := g.FreeVars()
+	idx := make(map[rdf.Term]int, len(free))
+	for i, v := range free {
+		idx[v] = i
+	}
+	u := graphalg.NewUGraph(len(free))
+	for i, v := range free {
+		u.SetLabel(i, v.String())
+	}
+	for _, t := range g.S {
+		vs := t.Vars()
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				a, okA := idx[vs[i]]
+				b, okB := idx[vs[j]]
+				if okA && okB {
+					u.AddEdge(a, b)
+				}
+			}
+		}
+	}
+	return u, free
+}
+
+// TW returns the paper's tw(S, X): the treewidth of the Gaifman graph
+// G(S, X), with the convention that a Gaifman graph with no vertices
+// or no edges has tw(S, X) = 1.
+func TW(g hom.GTGraph) int {
+	u, _ := GaifmanGraph(g)
+	if u.N() == 0 || u.EdgeCount() == 0 {
+		return 1
+	}
+	w, _ := graphalg.Treewidth(u)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// CTW returns ctw(S, X) = tw of the core of (S, X).
+func CTW(g hom.GTGraph) int {
+	return TW(hom.Core(g))
+}

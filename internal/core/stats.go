@@ -1,0 +1,86 @@
+package core
+
+import (
+	"wdsparql/internal/hom"
+	"wdsparql/internal/pebble"
+	"wdsparql/internal/ptree"
+	"wdsparql/internal/rdf"
+)
+
+// EvalStats instruments one wdEVAL decision: how many trees were
+// probed, how many witness subtrees matched, and how many (expensive)
+// extension tests ran. The benchmark harness reports these to show
+// where the two algorithms spend their work.
+type EvalStats struct {
+	// TreesProbed counts the trees of the forest examined.
+	TreesProbed int
+	// SubtreesMatched counts trees whose witness subtree matched µ.
+	SubtreesMatched int
+	// ExtensionTests counts child-extension tests performed
+	// (homomorphism tests for the naive algorithm, pebble games for
+	// the Theorem 1 algorithm).
+	ExtensionTests int
+	// PebbleAssignments accumulates the partial assignments
+	// enumerated by pebble closures (zero for the naive algorithm).
+	PebbleAssignments int
+	// Accepted is the decision.
+	Accepted bool
+}
+
+// EvalNaiveStats is EvalNaive with instrumentation.
+func EvalNaiveStats(f ptree.Forest, g *rdf.Graph, mu rdf.Mapping) (bool, EvalStats) {
+	var st EvalStats
+	for _, t := range f {
+		st.TreesProbed++
+		s, ok := FindMatchedSubtree(t, g, mu)
+		if !ok {
+			continue
+		}
+		st.SubtreesMatched++
+		extendable := false
+		for _, n := range s.Children() {
+			st.ExtensionTests++
+			if hom.ExistsExtending(n.Pattern, mu, g) {
+				extendable = true
+				break
+			}
+		}
+		if !extendable {
+			st.Accepted = true
+			return true, st
+		}
+	}
+	return false, st
+}
+
+// EvalPebbleStats is EvalPebble with instrumentation.
+func EvalPebbleStats(k int, f ptree.Forest, g *rdf.Graph, mu rdf.Mapping) (bool, EvalStats) {
+	var st EvalStats
+	for _, t := range f {
+		st.TreesProbed++
+		s, ok := FindMatchedSubtree(t, g, mu)
+		if !ok {
+			continue
+		}
+		st.SubtreesMatched++
+		x := s.Vars()
+		restricted := mu.Restrict(x)
+		extendable := false
+		for _, n := range s.Children() {
+			st.ExtensionTests++
+			union := s.Pattern().Union(n.Pattern)
+			gt := hom.NewGTGraph(union, x)
+			res := pebble.DecideStats(k+1, gt, restricted, g)
+			st.PebbleAssignments += res.Assignments
+			if res.Win {
+				extendable = true
+				break
+			}
+		}
+		if !extendable {
+			st.Accepted = true
+			return true, st
+		}
+	}
+	return false, st
+}

@@ -1,0 +1,101 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wdsparql/internal/core"
+	"wdsparql/internal/gen"
+	"wdsparql/internal/ptree"
+	"wdsparql/internal/rdf"
+	"wdsparql/internal/sparql"
+)
+
+// The top-down enumerator must agree exactly with the subtree-based
+// Lemma 1 enumeration and the compositional semantics.
+
+func TestTopDownAgainstEnumerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	used := 0
+	for tries := 0; used < 120 && tries < 6000; tries++ {
+		p := randPattern(rng, 3)
+		if !sparql.IsWellDesigned(p) {
+			continue
+		}
+		used++
+		f, err := ptree.WDPF(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := randData(rng)
+		want := core.EnumerateForest(f, g)
+		got := core.EnumerateTopDownForest(f, g)
+		if want.Len() != got.Len() {
+			t.Fatalf("pattern %s:\nsubtree enumeration %d, top-down %d\nwant=%v\ngot=%v",
+				p, want.Len(), got.Len(), want.Slice(), got.Slice())
+		}
+		for _, mu := range want.Slice() {
+			if !got.Contains(mu) {
+				t.Fatalf("pattern %s: top-down missing %s", p, mu)
+			}
+		}
+		if core.Count(f, g) != want.Len() {
+			t.Fatal("Count disagrees")
+		}
+	}
+	if used < 60 {
+		t.Fatalf("generator too weak: %d", used)
+	}
+}
+
+func TestTopDownOnStarQuery(t *testing.T) {
+	// OptStar over a catalog: solutions must bind exactly the present
+	// attributes (maximality).
+	star := gen.OptStar(3)
+	g := gen.ItemCatalog(12, 3, 5)
+	f := ptree.Forest{star}
+	got := core.EnumerateTopDownForest(f, g)
+	want := core.EnumerateForest(f, g)
+	if got.Len() != want.Len() || got.Len() != 12 {
+		t.Fatalf("star solutions: topdown=%d enumerate=%d (want 12, one per item)",
+			got.Len(), want.Len())
+	}
+	// Each solution's bound attributes must match the data exactly.
+	for _, mu := range got.Slice() {
+		item, ok := mu.Lookup(sparqlVar("s"))
+		if !ok {
+			t.Fatalf("solution without ?s: %s", mu)
+		}
+		for a := 0; a < 3; a++ {
+			attr := attrName(a)
+			bound := mu.Defined(sparqlVar(attrVal(a)))
+			present := len(g.Match(tripleSPO(item.Value, attr))) > 0
+			if bound != present {
+				t.Fatalf("item %s attr %s: bound=%v present=%v (µ=%s)",
+					item.Value, attr, bound, present, mu)
+			}
+		}
+	}
+}
+
+func sparqlVar(name string) rdf.Term { return rdf.Var(name) }
+
+func attrName(a int) string { return fmt.Sprintf("attr%d", a) }
+
+func attrVal(a int) string { return fmt.Sprintf("a%d", a) }
+
+func tripleSPO(subj, pred string) rdf.Triple {
+	return rdf.T(rdf.IRI(subj), rdf.IRI(pred), rdf.Var("any"))
+}
+
+func TestTopDownOnChainQuery(t *testing.T) {
+	chain := gen.OptChain(5)
+	g := gen.PathData(8, 6, 9)
+	f := ptree.Forest{chain}
+	got := core.EnumerateTopDownForest(f, g)
+	want := core.EnumerateForest(f, g)
+	if got.Len() != want.Len() {
+		t.Fatalf("chain: topdown=%d enumerate=%d", got.Len(), want.Len())
+	}
+}

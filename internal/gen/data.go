@@ -1,0 +1,167 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wdsparql/internal/rdf"
+)
+
+// This file generates synthetic RDF data. All generators are
+// deterministic given their seed, so tests and benchmark tables are
+// reproducible.
+
+// vertex names a data vertex.
+func vertex(i int) string { return fmt.Sprintf("n%d", i) }
+
+// Turan returns the Turán graph T(n, r) — the complete r-partite graph
+// on n near-equal parts — as symmetric RDF triples over the predicate
+// pred. T(n, k−1) is the canonical k-clique-free dense graph, which
+// makes refuting a K_k homomorphism maximally expensive for
+// backtracking solvers; it drives the hard instances of experiments
+// E3 and E6. Part of vertex i is i mod r.
+func Turan(n, r int, pred string) *rdf.Graph {
+	g := rdf.NewGraph()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if i%r != j%r {
+				g.AddTriple(vertex(i), pred, vertex(j))
+				g.AddTriple(vertex(j), pred, vertex(i))
+			}
+		}
+	}
+	return g
+}
+
+// TuranWithClique returns T(n, r) plus one extra intra-part edge,
+// which creates an (r+1)-clique; positive counterpart of Turan for the
+// same workloads. It requires n ≥ 2r (two vertices in part 0).
+func TuranWithClique(n, r int, pred string) *rdf.Graph {
+	g := Turan(n, r, pred)
+	if n < 2*r {
+		panic(fmt.Sprintf("gen: TuranWithClique needs n ≥ 2r, got n=%d r=%d", n, r))
+	}
+	// Vertices 0 and r are both in part 0.
+	g.AddTriple(vertex(0), pred, vertex(r))
+	g.AddTriple(vertex(r), pred, vertex(0))
+	return g
+}
+
+// FkData builds the adversarial data set for the F_k family
+// (experiment E3): one p-edge (a, b), a q-structure controlled by
+// withQ, an r-fan from b into part 0 of a Turán graph T(n, k−1) over
+// predicate r, and the Turán edges themselves. With withClique the
+// Turán graph gets a planted k-clique.
+//
+// The interesting mapping is µ = {?x ↦ a, ?y ↦ b}. With withQ=false
+// and withClique=false, µ ∈ ⟦F_k⟧G, and certifying it forces the
+// natural algorithm to refute a k-clique in a Turán graph; the
+// Theorem 1 algorithm avoids the refutation via its pebble tests.
+func FkData(k, n int, withQ, withClique bool) *rdf.Graph {
+	var g *rdf.Graph
+	if withClique {
+		g = TuranWithClique(n, k-1, "r")
+	} else {
+		g = Turan(n, k-1, "r")
+	}
+	g.AddTriple("a", "p", "b")
+	// r-fan from b into part 0 only (never both directions, and no
+	// self-loop at b), so the K_k refutation cannot shortcut through b.
+	for i := 0; i < n; i += k - 1 {
+		g.AddTriple("b", "r", vertex(i))
+	}
+	if withQ {
+		g.AddTriple("c", "q", "a")
+		g.AddTriple("d", "q", "c")
+	}
+	return g
+}
+
+// FkMu returns the mapping µ = {?x ↦ a, ?y ↦ b} probed in E3.
+func FkMu() rdf.Mapping {
+	return rdf.Mapping{"x": "a", "y": "b"}
+}
+
+// TkPrimeData builds data for the T'_k family: a self-loop (b, r, b)
+// matching the root, an r-fan from b into a Turán graph T(n, k−1), and
+// the Turán edges. µ = {?y ↦ b}.
+func TkPrimeData(n, k int) *rdf.Graph {
+	g := Turan(n, k-1, "r")
+	g.AddTriple("b", "r", "b")
+	for i := 0; i < n; i++ {
+		g.AddTriple("b", "r", vertex(i))
+	}
+	return g
+}
+
+// Random returns an Erdős–Rényi-style RDF graph: m distinct triples
+// drawn uniformly over n subjects/objects and p predicates.
+func Random(n, m, preds int, seed int64) *rdf.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := rdf.NewGraph()
+	for g.Len() < m {
+		s := vertex(rng.Intn(n))
+		o := vertex(rng.Intn(n))
+		p := fmt.Sprintf("p%d", rng.Intn(preds))
+		g.AddTriple(s, p, o)
+	}
+	return g
+}
+
+// SocialNetwork generates a small social-network-style data set:
+// persons with knows edges, optional employers and optional emails.
+// Roughly a third of the persons lack an employer and a third lack an
+// email, exercising the OPTIONAL semantics.
+func SocialNetwork(persons int, seed int64) *rdf.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := rdf.NewGraph()
+	name := func(i int) string { return fmt.Sprintf("person%d", i) }
+	for i := 0; i < persons; i++ {
+		g.AddTriple(name(i), "type", "Person")
+		// Every person knows about three others.
+		for d := 0; d < 3; d++ {
+			j := rng.Intn(persons)
+			if j != i {
+				g.AddTriple(name(i), "knows", name(j))
+			}
+		}
+		if i%3 != 0 {
+			g.AddTriple(name(i), "worksAt", fmt.Sprintf("org%d", rng.Intn(5)))
+		}
+		if i%3 != 1 {
+			g.AddTriple(name(i), "email", fmt.Sprintf("mail%d", i))
+		}
+	}
+	return g
+}
+
+// ItemCatalog generates data for the OptStar family: items with a
+// random subset of `arms` optional attributes.
+func ItemCatalog(items, arms int, seed int64) *rdf.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := rdf.NewGraph()
+	for i := 0; i < items; i++ {
+		s := fmt.Sprintf("item%d", i)
+		g.AddTriple(s, "type", "item")
+		for a := 0; a < arms; a++ {
+			if rng.Intn(2) == 0 {
+				g.AddTriple(s, fmt.Sprintf("attr%d", a), fmt.Sprintf("val%d_%d", i, a))
+			}
+		}
+	}
+	return g
+}
+
+// PathData generates a directed p-path v0 → v1 → ... → v_len plus
+// noise edges, for the OptChain family.
+func PathData(length, noise int, seed int64) *rdf.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := rdf.NewGraph()
+	for i := 0; i < length; i++ {
+		g.AddTriple(vertex(i), "p", vertex(i+1))
+	}
+	for i := 0; i < noise; i++ {
+		g.AddTriple(vertex(rng.Intn(length+1)), "p", vertex(rng.Intn(length+1)))
+	}
+	return g
+}

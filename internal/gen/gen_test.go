@@ -1,0 +1,209 @@
+package gen
+
+import (
+	"testing"
+
+	"wdsparql/internal/graphalg"
+	"wdsparql/internal/hom"
+	"wdsparql/internal/ptree"
+	"wdsparql/internal/rdf"
+)
+
+func TestKkTriples(t *testing.T) {
+	for k := 2; k <= 6; k++ {
+		ts := KkTriples(k)
+		if len(ts) != k*(k-1)/2 {
+			t.Fatalf("k=%d: %d triples", k, len(ts))
+		}
+		// The Gaifman structure is a clique: the t-graph with no
+		// distinguished vars is a core of treewidth k−1 (tested at the
+		// width level in internal/core; here check it is a core).
+		if !hom.IsCore(hom.NewGTGraph(hom.NewTGraph(ts...), nil)) {
+			t.Fatalf("k=%d: K_k should be a core", k)
+		}
+	}
+}
+
+func TestFkStructure(t *testing.T) {
+	f := Fk(3)
+	if len(f) != 3 {
+		t.Fatalf("F_k has 3 trees, got %d", len(f))
+	}
+	sizes := []int{3, 2, 2}
+	for i, tr := range f {
+		if tr.Size() != sizes[i] {
+			t.Fatalf("T%d size %d, want %d", i+1, tr.Size(), sizes[i])
+		}
+		if err := tr.Validate(true); err != nil {
+			t.Fatalf("T%d: %v", i+1, err)
+		}
+	}
+}
+
+func TestTkPrimeStructure(t *testing.T) {
+	for k := 2; k <= 4; k++ {
+		tr := TkPrime(k)
+		if tr.Size() != 2 {
+			t.Fatalf("T'_k has 2 nodes, got %d", tr.Size())
+		}
+		if err := tr.Validate(true); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCliqueAndGridChildren(t *testing.T) {
+	for k := 2; k <= 4; k++ {
+		if err := CliqueChild(k).Validate(true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := GridChild(3, 4)
+	if err := g.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	// The child contains the anchor + right/down edges.
+	child := g.Root.Children[0]
+	wantTriples := 1 + 3*3 + 2*4 // anchor + right edges + down edges
+	if len(child.Pattern) != wantTriples {
+		t.Fatalf("grid child: %d triples, want %d", len(child.Pattern), wantTriples)
+	}
+	// Anchored labelled grid is a core.
+	s := hom.NewGTGraph(g.Root.Pattern.Union(child.Pattern), []rdf.Term{rdf.Var("u")})
+	if !hom.IsCore(s) {
+		t.Fatal("anchored grid must be a core")
+	}
+}
+
+func TestOptChainAndStar(t *testing.T) {
+	c := OptChain(4)
+	if c.Size() != 4 {
+		t.Fatalf("chain size %d", c.Size())
+	}
+	if err := c.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	depth := 0
+	for n := c.Root; len(n.Children) > 0; n = n.Children[0] {
+		depth++
+	}
+	if depth != 3 {
+		t.Fatalf("chain depth %d", depth)
+	}
+	s := OptStar(5)
+	if s.Size() != 6 || len(s.Root.Children) != 5 {
+		t.Fatalf("star shape: %d nodes, %d children", s.Size(), len(s.Root.Children))
+	}
+	if err := s.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTuranCliqueFreeness(t *testing.T) {
+	for k := 3; k <= 5; k++ {
+		n := 4 * (k - 1)
+		g := Turan(n, k-1, "r")
+		if hasSymmetricClique(g, "r", k) {
+			t.Fatalf("T(%d,%d) must be K_%d-free", n, k-1, k)
+		}
+		if !hasSymmetricClique(g, "r", k-1) {
+			t.Fatalf("T(%d,%d) must contain K_%d", n, k-1, k-1)
+		}
+		gc := TuranWithClique(n, k-1, "r")
+		if !hasSymmetricClique(gc, "r", k) {
+			t.Fatalf("planted clique missing in T(%d,%d)+e", n, k-1)
+		}
+	}
+}
+
+// hasSymmetricClique checks for a k-clique in the symmetric predicate
+// graph via the pattern K_k and the hom solver.
+func hasSymmetricClique(g *rdf.Graph, pred string, k int) bool {
+	// Build an undirected view and use the graphalg oracle, which is
+	// independent of the hom machinery.
+	idx := map[string]int{}
+	var names []string
+	for _, v := range g.Dom() {
+		idx[v] = len(names)
+		names = append(names, v)
+	}
+	u := graphalg.NewUGraph(len(names))
+	for _, tr := range g.Triples() {
+		if tr.P.Value == pred {
+			u.AddEdge(idx[tr.S.Value], idx[tr.O.Value])
+		}
+	}
+	return graphalg.HasClique(u, k)
+}
+
+func TestFkDataShape(t *testing.T) {
+	g := FkData(3, 8, true, false)
+	if !g.Contains(rdf.T(rdf.IRI("a"), rdf.IRI("p"), rdf.IRI("b"))) {
+		t.Fatal("missing p-edge")
+	}
+	if !g.Contains(rdf.T(rdf.IRI("c"), rdf.IRI("q"), rdf.IRI("a"))) {
+		t.Fatal("missing q-edge")
+	}
+	noQ := FkData(3, 8, false, false)
+	if len(noQ.Match(rdf.T(rdf.Var("z"), rdf.IRI("q"), rdf.Var("x")))) != 0 {
+		t.Fatal("q-edges must be absent")
+	}
+	// b must have outgoing r-edges but no incoming ones and no loop.
+	if len(noQ.Match(rdf.T(rdf.IRI("b"), rdf.IRI("r"), rdf.Var("v")))) == 0 {
+		t.Fatal("missing r-fan")
+	}
+	if len(noQ.Match(rdf.T(rdf.Var("v"), rdf.IRI("r"), rdf.IRI("b")))) != 0 {
+		t.Fatal("b must have no incoming r-edges")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	if !SocialNetwork(30, 7).Equal(SocialNetwork(30, 7)) {
+		t.Fatal("SocialNetwork must be deterministic per seed")
+	}
+	if !Random(20, 50, 2, 3).Equal(Random(20, 50, 2, 3)) {
+		t.Fatal("Random must be deterministic per seed")
+	}
+	if Random(20, 50, 2, 3).Equal(Random(20, 50, 2, 4)) {
+		t.Fatal("different seeds should differ")
+	}
+	if Random(20, 50, 2, 3).Len() != 50 {
+		t.Fatal("Random must hit requested size")
+	}
+}
+
+func TestItemCatalogAndPathData(t *testing.T) {
+	g := ItemCatalog(10, 3, 1)
+	if len(g.Match(rdf.T(rdf.Var("s"), rdf.IRI("type"), rdf.IRI("item")))) != 10 {
+		t.Fatal("items missing")
+	}
+	p := PathData(5, 3, 1)
+	for i := 0; i < 5; i++ {
+		if len(p.Match(rdf.T(rdf.Var("s"), rdf.IRI("p"), rdf.Var("o")))) < 5 {
+			t.Fatal("path edges missing")
+		}
+	}
+}
+
+func TestTuranWithCliquePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n < 2r")
+		}
+	}()
+	TuranWithClique(3, 2, "r")
+}
+
+func TestExampleGraphsWellFormed(t *testing.T) {
+	for k := 2; k <= 4; k++ {
+		s := ExampleS(k)
+		if len(s.X) != 3 {
+			t.Fatalf("X of (S,X): %v", s.X)
+		}
+		sp := ExampleSPrime(k)
+		if len(sp.S) != 5+k*(k-1)/2 {
+			t.Fatalf("S' size: %d", len(sp.S))
+		}
+	}
+	_ = ptree.Forest{} // keep import for potential extensions
+}

@@ -1,0 +1,192 @@
+// Package gen generates the query families and synthetic RDF data used
+// by the examples, the test suite and the benchmark harness: the
+// paper's own constructions (the wdPF F_k of Examples 4–5, the
+// UNION-free family T'_k of Section 3.2, the clique t-graphs
+// K_k(?o1, ..., ?ok) of Example 3) plus the unbounded-width families
+// and adversarial data sets that exhibit the tractability frontier.
+package gen
+
+import (
+	"fmt"
+
+	"wdsparql/internal/hom"
+	"wdsparql/internal/ptree"
+	"wdsparql/internal/rdf"
+)
+
+// KkTriples returns the paper's K_k(?o1, ..., ?ok) from Example 3:
+// the t-graph {(?oi, r, ?oj) | 1 ≤ i < j ≤ k} whose Gaifman graph is
+// the k-clique.
+func KkTriples(k int) []rdf.Triple {
+	var out []rdf.Triple
+	for i := 1; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			out = append(out, rdf.T(oVar(i), rdf.IRI("r"), oVar(j)))
+		}
+	}
+	return out
+}
+
+func oVar(i int) rdf.Term { return rdf.Var(fmt.Sprintf("o%d", i)) }
+
+// ExampleS returns the generalised t-graph (S, {?x, ?y, ?z}) of
+// Figure 1 / Example 3: a core with ctw = k − 1.
+func ExampleS(k int) hom.GTGraph {
+	ts := []rdf.Triple{
+		rdf.T(rdf.Var("z"), rdf.IRI("q"), rdf.Var("x")),
+		rdf.T(rdf.Var("x"), rdf.IRI("p"), rdf.Var("y")),
+		rdf.T(rdf.Var("y"), rdf.IRI("r"), oVar(1)),
+	}
+	ts = append(ts, KkTriples(k)...)
+	return hom.NewGTGraph(hom.NewTGraph(ts...), []rdf.Term{rdf.Var("x"), rdf.Var("y"), rdf.Var("z")})
+}
+
+// ExampleSPrime returns (S', {?x, ?y, ?z}) of Figure 1 / Example 3:
+// tw(S', X) = k − 1 but ctw(S', X) = 1 — the K_k part folds onto the
+// self-loop triple (?o, r, ?o).
+func ExampleSPrime(k int) hom.GTGraph {
+	ts := []rdf.Triple{
+		rdf.T(rdf.Var("z"), rdf.IRI("q"), rdf.Var("x")),
+		rdf.T(rdf.Var("x"), rdf.IRI("p"), rdf.Var("y")),
+		rdf.T(rdf.Var("y"), rdf.IRI("r"), oVar(1)),
+		rdf.T(rdf.Var("y"), rdf.IRI("r"), rdf.Var("o")),
+		rdf.T(rdf.Var("o"), rdf.IRI("r"), rdf.Var("o")),
+	}
+	ts = append(ts, KkTriples(k)...)
+	return hom.NewGTGraph(hom.NewTGraph(ts...), []rdf.Term{rdf.Var("x"), rdf.Var("y"), rdf.Var("z")})
+}
+
+// Fk returns the wdPF F_k = {T1, T2, T3} of Figure 2 / Examples 4–5:
+// dw(F_k) = 1 for every k ≥ 2, yet the family is not locally tractable
+// (node n12 carries the clique K_k). It is the paper's witness that
+// bounded domination width strictly extends local tractability.
+func Fk(k int) ptree.Forest {
+	x, y, z, w, o := rdf.Var("x"), rdf.Var("y"), rdf.Var("z"), rdf.Var("w"), rdf.Var("o")
+	p, q, r := rdf.IRI("p"), rdf.IRI("q"), rdf.IRI("r")
+
+	t1 := ptree.FromSpec(ptree.Spec{
+		Pattern: []rdf.Triple{rdf.T(x, p, y)},
+		Children: []ptree.Spec{
+			{Pattern: []rdf.Triple{rdf.T(z, q, x)}},                                // n11
+			{Pattern: append([]rdf.Triple{rdf.T(y, r, oVar(1))}, KkTriples(k)...)}, // n12
+		},
+	})
+	t2 := ptree.FromSpec(ptree.Spec{
+		Pattern: []rdf.Triple{rdf.T(x, p, y)},
+		Children: []ptree.Spec{
+			{Pattern: []rdf.Triple{rdf.T(z, q, x), rdf.T(w, q, z)}}, // n2
+		},
+	})
+	t3 := ptree.FromSpec(ptree.Spec{
+		Pattern: []rdf.Triple{rdf.T(x, p, y), rdf.T(z, q, x)},
+		Children: []ptree.Spec{
+			{Pattern: []rdf.Triple{rdf.T(y, r, o), rdf.T(o, r, o)}}, // n3
+		},
+	})
+	for _, t := range []*ptree.Tree{t1, t2, t3} {
+		t.SortChildren()
+	}
+	return ptree.Forest{t1, t2, t3}
+}
+
+// TkPrime returns the UNION-free wdPT T'_k of Section 3.2: a two-node
+// tree with root {(?y, r, ?y)} and child {(?y, r, ?o1)} ∪ K_k. Its
+// branch treewidth is 1 for every k (the branch core folds onto the
+// root self-loop) although ctw(pat(n_k), {?y}) = k − 1, so the family
+// has bounded branch treewidth without being locally tractable.
+func TkPrime(k int) *ptree.Tree {
+	y, r := rdf.Var("y"), rdf.IRI("r")
+	return ptree.FromSpec(ptree.Spec{
+		Pattern: []rdf.Triple{rdf.T(y, r, y)},
+		Children: []ptree.Spec{
+			{Pattern: append([]rdf.Triple{rdf.T(y, r, oVar(1))}, KkTriples(k)...)},
+		},
+	})
+}
+
+// CliqueChild returns a two-node wdPT of unbounded domination width:
+// root {(?u, p0, ?u)} with a child {(?u, e0, ?x1)} ∪ clique triples
+// over ?x1..?xk with pairwise predicate e. The anchor (?u, e0, ?x1)
+// prevents the clique from folding, so dw = bw = ctw = k − 1.
+func CliqueChild(k int) *ptree.Tree {
+	u := rdf.Var("u")
+	child := []rdf.Triple{rdf.T(u, rdf.IRI("e0"), xVar(1))}
+	for i := 1; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			child = append(child, rdf.T(xVar(i), rdf.IRI("e"), xVar(j)))
+		}
+	}
+	return ptree.FromSpec(ptree.Spec{
+		Pattern:  []rdf.Triple{rdf.T(u, rdf.IRI("p0"), u)},
+		Children: []ptree.Spec{{Pattern: child}},
+	})
+}
+
+func xVar(i int) rdf.Term { return rdf.Var(fmt.Sprintf("x%d", i)) }
+
+// GridVar returns the variable ?g_i_j used by GridChild, 1-based.
+func GridVar(i, j int) rdf.Term { return rdf.Var(fmt.Sprintf("g_%d_%d", i, j)) }
+
+// GridChildTriples returns the child t-graph of GridChild: an anchored
+// directed (rows × cols)-grid with distinct "right" and "down"
+// predicates, which is a core (the anchor pins ?g_1_1 and the labelled
+// edges then force the identity), so its ctw equals the grid treewidth
+// min(rows, cols).
+func GridChildTriples(rows, cols int) []rdf.Triple {
+	u := rdf.Var("u")
+	out := []rdf.Triple{rdf.T(u, rdf.IRI("has"), GridVar(1, 1))}
+	for i := 1; i <= rows; i++ {
+		for j := 1; j <= cols; j++ {
+			if j+1 <= cols {
+				out = append(out, rdf.T(GridVar(i, j), rdf.IRI("right"), GridVar(i, j+1)))
+			}
+			if i+1 <= rows {
+				out = append(out, rdf.T(GridVar(i, j), rdf.IRI("down"), GridVar(i+1, j)))
+			}
+		}
+	}
+	return out
+}
+
+// GridChild returns a two-node wdPT whose child is an anchored
+// (rows × cols)-grid; this is the query family fed to the Section 4
+// hardness reduction (its GtG member S_∆ = pat(T) ∪ pat(child) has a
+// grid Gaifman graph, hence a trivially computable grid minor map).
+func GridChild(rows, cols int) *ptree.Tree {
+	u := rdf.Var("u")
+	return ptree.FromSpec(ptree.Spec{
+		Pattern:  []rdf.Triple{rdf.T(u, rdf.IRI("root"), u)},
+		Children: []ptree.Spec{{Pattern: GridChildTriples(rows, cols)}},
+	})
+}
+
+// OptChain returns a UNION-free wdPT shaped as a path of depth OPT
+// nests: root {(?v0, p, ?v1)} with a chain of children
+// {(?v_i, p, ?v_{i+1})}. Branch treewidth 1; used to measure scaling
+// in tree depth.
+func OptChain(depth int) *ptree.Tree {
+	p := rdf.IRI("p")
+	vv := func(i int) rdf.Term { return rdf.Var(fmt.Sprintf("v%d", i)) }
+	spec := ptree.Spec{Pattern: []rdf.Triple{rdf.T(vv(depth-1), p, vv(depth))}}
+	for i := depth - 2; i >= 0; i-- {
+		spec = ptree.Spec{
+			Pattern:  []rdf.Triple{rdf.T(vv(i), p, vv(i+1))},
+			Children: []ptree.Spec{spec},
+		}
+	}
+	return ptree.FromSpec(spec)
+}
+
+// OptStar returns a UNION-free wdPT with one root and `arms` children,
+// each asking for a distinct optional attribute of ?s:
+// root {(?s, type, item)}, children {(?s, attr_i, ?a_i)}.
+func OptStar(arms int) *ptree.Tree {
+	s := rdf.Var("s")
+	spec := ptree.Spec{Pattern: []rdf.Triple{rdf.T(s, rdf.IRI("type"), rdf.IRI("item"))}}
+	for i := 0; i < arms; i++ {
+		spec.Children = append(spec.Children, ptree.Spec{
+			Pattern: []rdf.Triple{rdf.T(s, rdf.IRI(fmt.Sprintf("attr%d", i)), rdf.Var(fmt.Sprintf("a%d", i)))},
+		})
+	}
+	return ptree.FromSpec(spec)
+}

@@ -1,0 +1,96 @@
+package gen
+
+import (
+	"math/rand"
+
+	"wdsparql/internal/rdf"
+	"wdsparql/internal/sparql"
+)
+
+// Random well-designed pattern generation, shared by the property
+// tests and the fuzzing harness. Generation is rejection-based: a
+// random AND/OPT tree over a small vocabulary is drawn and retried
+// until it passes the well-designedness test, which for this
+// vocabulary succeeds within a handful of attempts.
+
+// PatternOpts controls RandomWDPattern.
+type PatternOpts struct {
+	// Depth of the binary operator tree (0 = single triple).
+	Depth int
+	// Vars is the variable pool; defaults to ?x ?y ?z ?w.
+	Vars []rdf.Term
+	// Preds is the predicate pool; defaults to p, q.
+	Preds []rdf.Term
+	// IRIs is the constant pool for subject/object positions;
+	// defaults to a, b.
+	IRIs []rdf.Term
+	// ConstProb controls how often a subject/object is a constant
+	// (numerator of x/4); defaults to 1.
+	ConstProb int
+	// MaxTries bounds the rejection sampling; defaults to 10000.
+	MaxTries int
+	// Union adds a top-level UNION of two generated branches.
+	Union bool
+}
+
+func (o *PatternOpts) fill() {
+	if o.Vars == nil {
+		o.Vars = []rdf.Term{rdf.Var("x"), rdf.Var("y"), rdf.Var("z"), rdf.Var("w")}
+	}
+	if o.Preds == nil {
+		o.Preds = []rdf.Term{rdf.IRI("p"), rdf.IRI("q")}
+	}
+	if o.IRIs == nil {
+		o.IRIs = []rdf.Term{rdf.IRI("a"), rdf.IRI("b")}
+	}
+	if o.ConstProb == 0 {
+		o.ConstProb = 1
+	}
+	if o.MaxTries == 0 {
+		o.MaxTries = 10000
+	}
+	if o.Depth == 0 {
+		o.Depth = 3
+	}
+}
+
+// RandomWDPattern draws a random well-designed pattern. ok is false
+// when rejection sampling exhausts MaxTries (practically impossible
+// with the defaults).
+func RandomWDPattern(rng *rand.Rand, opts PatternOpts) (sparql.Pattern, bool) {
+	opts.fill()
+	for try := 0; try < opts.MaxTries; try++ {
+		var p sparql.Pattern
+		if opts.Union {
+			p = sparql.Union(randTree(rng, &opts, opts.Depth-1), randTree(rng, &opts, opts.Depth-1))
+		} else {
+			p = randTree(rng, &opts, opts.Depth)
+		}
+		if sparql.IsWellDesigned(p) {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+func randTree(rng *rand.Rand, opts *PatternOpts, depth int) sparql.Pattern {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return sparql.Triple{T: randWDTriple(rng, opts)}
+	}
+	l := randTree(rng, opts, depth-1)
+	r := randTree(rng, opts, depth-1)
+	if rng.Intn(2) == 0 {
+		return sparql.And(l, r)
+	}
+	return sparql.Opt(l, r)
+}
+
+func randWDTriple(rng *rand.Rand, opts *PatternOpts) rdf.Triple {
+	so := func() rdf.Term {
+		if rng.Intn(4) < opts.ConstProb {
+			return opts.IRIs[rng.Intn(len(opts.IRIs))]
+		}
+		return opts.Vars[rng.Intn(len(opts.Vars))]
+	}
+	return rdf.T(so(), opts.Preds[rng.Intn(len(opts.Preds))], so())
+}

@@ -1,0 +1,117 @@
+package graphalg
+
+import (
+	"math/bits"
+)
+
+// Reconstruction of an optimal elimination order from the exact
+// treewidth dynamic program, yielding a certified minimum-width tree
+// decomposition (verified against Treewidth in the tests).
+
+// ExactDecomposition returns a tree decomposition of minimum width for
+// graphs whose components fit the exact algorithm, together with the
+// width. exact is false when a component exceeds MaxExactVertices; the
+// returned decomposition then comes from the heuristics.
+func ExactDecomposition(g *UGraph) (td *TreeDecomposition, width int, exact bool) {
+	if g.N() == 0 {
+		return &TreeDecomposition{}, 0, true
+	}
+	// Per-component orders are concatenated; the fill-in construction
+	// handles disconnected graphs.
+	var order []int
+	exact = true
+	for _, comp := range g.Components() {
+		sub, orig := g.InducedSubgraph(comp)
+		var subOrder []int
+		if sub.N() > MaxExactVertices {
+			exact = false
+			subOrder = bestHeuristicOrder(sub)
+		} else {
+			subOrder = exactEliminationOrder(sub)
+		}
+		for _, v := range subOrder {
+			order = append(order, orig[v])
+		}
+	}
+	td = DecompositionFromOrder(g, order)
+	return td, td.Width(), exact
+}
+
+func bestHeuristicOrder(g *UGraph) []int {
+	fill := eliminationOrder(g, pickMinFill)
+	deg := eliminationOrder(g, pickMinDegree)
+	if DecompositionFromOrder(g, deg).Width() < DecompositionFromOrder(g, fill).Width() {
+		return deg
+	}
+	return fill
+}
+
+// exactEliminationOrder reconstructs an optimal order from the subset
+// dynamic program: f(S) is the minimum over orders eliminating exactly
+// S first of the maximum elimination degree, with the last vertex of
+// the prefix as the branching choice. Walking back from the full set
+// yields the order in reverse.
+func exactEliminationOrder(g *UGraph) []int {
+	n := g.n
+	if n == 0 {
+		return nil
+	}
+	full := uint32(1)<<n - 1
+	const inf = int32(1 << 30)
+	f := make([]int32, full+1)
+	for i := range f {
+		f[i] = inf
+	}
+	f[0] = 0
+	for s := uint32(1); s <= full; s++ {
+		best := inf
+		rem := s
+		for rem != 0 {
+			v := bits.TrailingZeros32(rem)
+			rem &= rem - 1
+			prev := f[s&^(1<<v)]
+			if prev >= inf {
+				continue
+			}
+			q := int32(eliminationDegree(g, s&^(1<<uint(v)), v))
+			val := prev
+			if q > val {
+				val = q
+			}
+			if val < best {
+				best = val
+			}
+		}
+		f[s] = best
+		if s == full {
+			break
+		}
+	}
+	// Walk back: at each set, pick a vertex achieving the optimum.
+	order := make([]int, n)
+	s := full
+	for i := n - 1; i >= 0; i-- {
+		rem := s
+		chosen := -1
+		for rem != 0 {
+			v := bits.TrailingZeros32(rem)
+			rem &= rem - 1
+			prev := f[s&^(1<<v)]
+			if prev >= inf {
+				continue
+			}
+			q := int32(eliminationDegree(g, s&^(1<<uint(v)), v))
+			val := prev
+			if q > val {
+				val = q
+			}
+			if val == f[s] {
+				chosen = v
+				break
+			}
+		}
+		order[i] = chosen
+		s &^= 1 << uint(chosen)
+	}
+	return order
+}

@@ -1,0 +1,86 @@
+package graphalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// ExactDecomposition must produce a valid decomposition whose width
+// equals the exact treewidth.
+
+func TestExactDecompositionKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *UGraph
+		want int
+	}{
+		{"path6", Path(6), 1},
+		{"cycle6", Cycle(6), 2},
+		{"K5", Clique(5), 4},
+		{"grid3x3", Grid(3, 3), 3},
+		{"grid3x4", Grid(3, 4), 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			td, w, exact := ExactDecomposition(tc.g)
+			if !exact {
+				t.Fatal("expected exact")
+			}
+			if w != tc.want {
+				t.Fatalf("width=%d want %d", w, tc.want)
+			}
+			if err := td.Verify(tc.g); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestQuickExactDecompositionOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(193))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(8)
+		g := randGraph(rng, n, 0.45)
+		td, w, exact := ExactDecomposition(g)
+		if !exact {
+			t.Fatalf("trial %d: expected exact at n=%d", trial, n)
+		}
+		if err := td.Verify(g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		tw, ok := Treewidth(g)
+		if !ok {
+			t.Fatal("treewidth should be exact")
+		}
+		if w != tw {
+			t.Fatalf("trial %d: decomposition width %d ≠ tw %d", trial, w, tw)
+		}
+	}
+}
+
+func TestExactDecompositionDisconnected(t *testing.T) {
+	g := Clique(4)
+	a := g.AddVertex("a")
+	b := g.AddVertex("b")
+	g.AddEdge(a, b)
+	g.AddVertex("isolated")
+	td, w, exact := ExactDecomposition(g)
+	if !exact || w != 3 {
+		t.Fatalf("w=%d exact=%v", w, exact)
+	}
+	if err := td.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactDecompositionEmpty(t *testing.T) {
+	td, w, exact := ExactDecomposition(NewUGraph(0))
+	if !exact || w != -1 && w != 0 {
+		// Width of the empty decomposition is -1 by the max-bag-minus-1
+		// convention; accept 0 as well for the one-empty-bag case.
+		t.Fatalf("w=%d exact=%v", w, exact)
+	}
+	if err := td.Verify(NewUGraph(0)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,286 @@
+// Package graphalg implements the undirected-graph machinery the paper
+// relies on: graphs, treewidth (exact computation for the small graphs
+// arising from queries, plus classic heuristics and lower bounds),
+// standard constructions (grids, cliques, paths, cycles), and
+// grid-minor maps used by the Section 4 hardness reduction.
+package graphalg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// UGraph is a simple undirected graph over vertices 0..n-1 with
+// optional string labels. Self-loops and parallel edges are ignored.
+type UGraph struct {
+	n      int
+	adj    []map[int]bool
+	labels []string
+}
+
+// NewUGraph returns an empty graph with n vertices.
+func NewUGraph(n int) *UGraph {
+	g := &UGraph{n: n, adj: make([]map[int]bool, n), labels: make([]string, n)}
+	for i := range g.adj {
+		g.adj[i] = map[int]bool{}
+		g.labels[i] = fmt.Sprintf("v%d", i)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *UGraph) N() int { return g.n }
+
+// AddVertex appends a new vertex with the given label and returns its id.
+func (g *UGraph) AddVertex(label string) int {
+	g.adj = append(g.adj, map[int]bool{})
+	g.labels = append(g.labels, label)
+	g.n++
+	return g.n - 1
+}
+
+// SetLabel assigns a label to vertex v.
+func (g *UGraph) SetLabel(v int, label string) { g.labels[v] = label }
+
+// Label returns the label of vertex v.
+func (g *UGraph) Label(v int) string { return g.labels[v] }
+
+// AddEdge inserts the undirected edge {u, v}; self-loops are ignored.
+func (g *UGraph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *UGraph) HasEdge(u, v int) bool { return u != v && g.adj[u][v] }
+
+// Degree returns the degree of v.
+func (g *UGraph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns the sorted neighbourhood of v.
+func (g *UGraph) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Edges returns all edges {u, v} with u < v, sorted.
+func (g *UGraph) Edges() [][2]int {
+	var out [][2]int
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// EdgeCount returns the number of edges.
+func (g *UGraph) EdgeCount() int {
+	total := 0
+	for u := 0; u < g.n; u++ {
+		total += len(g.adj[u])
+	}
+	return total / 2
+}
+
+// Clone returns a deep copy of the graph.
+func (g *UGraph) Clone() *UGraph {
+	out := NewUGraph(g.n)
+	copy(out.labels, g.labels)
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			out.adj[u][v] = true
+		}
+	}
+	return out
+}
+
+// Components returns the connected components as sorted vertex slices,
+// ordered by smallest vertex.
+func (g *UGraph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		seen[s] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for u := range g.adj[v] {
+				if !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// InducedSubgraph returns the subgraph induced by the given vertices,
+// together with the mapping from new ids to original ids.
+func (g *UGraph) InducedSubgraph(vs []int) (*UGraph, []int) {
+	idx := map[int]int{}
+	orig := append([]int{}, vs...)
+	sort.Ints(orig)
+	for i, v := range orig {
+		idx[v] = i
+	}
+	out := NewUGraph(len(orig))
+	for i, v := range orig {
+		out.labels[i] = g.labels[v]
+		for u := range g.adj[v] {
+			if j, ok := idx[u]; ok {
+				out.AddEdge(i, j)
+			}
+		}
+	}
+	return out, orig
+}
+
+// IsConnected reports whether the graph is connected (the empty graph
+// counts as connected).
+func (g *UGraph) IsConnected() bool {
+	return g.n == 0 || len(g.Components()) == 1
+}
+
+// IsCliqueOn reports whether the given vertex set induces a clique.
+func (g *UGraph) IsCliqueOn(vs []int) bool {
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			if !g.HasEdge(vs[i], vs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the graph compactly.
+func (g *UGraph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "UGraph(n=%d, m=%d)", g.n, g.EdgeCount())
+	return b.String()
+}
+
+// Clique returns the complete graph K_n.
+func Clique(n int) *UGraph {
+	g := NewUGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Path returns the path graph P_n on n vertices.
+func Path(n int) *UGraph {
+	g := NewUGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle C_n (n ≥ 3).
+func Cycle(n int) *UGraph {
+	g := Path(n)
+	if n >= 3 {
+		g.AddEdge(n-1, 0)
+	}
+	return g
+}
+
+// Grid returns the (rows × cols)-grid of the paper's Section 4.2:
+// vertices (i, j) for 1 ≤ i ≤ rows, 1 ≤ j ≤ cols with an edge between
+// (i,j) and (i',j') iff |i−i'| + |j−j'| = 1. Vertex (i, j) has id
+// (i−1)*cols + (j−1).
+func Grid(rows, cols int) *UGraph {
+	g := NewUGraph(rows * cols)
+	id := func(i, j int) int { return i*cols + j }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			g.SetLabel(id(i, j), fmt.Sprintf("(%d,%d)", i+1, j+1))
+			if i+1 < rows {
+				g.AddEdge(id(i, j), id(i+1, j))
+			}
+			if j+1 < cols {
+				g.AddEdge(id(i, j), id(i, j+1))
+			}
+		}
+	}
+	return g
+}
+
+// GridID returns the vertex id of grid position (i, j) (0-based) in a
+// grid with the given number of columns.
+func GridID(i, j, cols int) int { return i*cols + j }
+
+// HasClique reports whether g contains a clique of size k, by
+// backtracking over greedily ordered vertices. This is the p-CLIQUE
+// oracle used to validate the Section 4 reduction.
+func HasClique(g *UGraph, k int) bool {
+	if k <= 0 {
+		return true
+	}
+	if k == 1 {
+		return g.n > 0
+	}
+	order := make([]int, g.n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return g.Degree(order[a]) > g.Degree(order[b]) })
+	var cur []int
+	var rec func(cands []int) bool
+	rec = func(cands []int) bool {
+		if len(cur) == k {
+			return true
+		}
+		if len(cur)+len(cands) < k {
+			return false
+		}
+		for i, v := range cands {
+			if g.Degree(v) < k-1 {
+				continue
+			}
+			var next []int
+			for _, u := range cands[i+1:] {
+				if g.HasEdge(u, v) {
+					next = append(next, u)
+				}
+			}
+			cur = append(cur, v)
+			if rec(next) {
+				return true
+			}
+			cur = cur[:len(cur)-1]
+		}
+		return false
+	}
+	return rec(order)
+}

@@ -1,0 +1,215 @@
+package graphalg
+
+import (
+	"fmt"
+)
+
+// This file provides minor maps from (k × K)-grids onto host graphs,
+// the γ of the paper's Lemma 2 / Appendix 7.1. A minor map γ assigns
+// to each grid vertex (i, p) a non-empty connected set γ(i, p) of host
+// vertices such that distinct grid vertices get disjoint sets and
+// every grid edge is witnessed by a host edge between the two sets;
+// "onto" additionally requires the sets to cover every host vertex.
+//
+// Finding grid minors in arbitrary graphs is the business of the
+// Excluded Grid Theorem, whose bounds are galactic; the reduction of
+// internal/reduction only ever consumes a minor map, so we provide
+// exact constructions for the two host families the benchmark uses —
+// grids and cliques — plus a verifier used in tests.
+
+// MinorMap maps each vertex (i, p) of a (k × K)-grid — 1-based, i is
+// the row in [1, k], p the column in [1, K] — to a set of host
+// vertices. It is the γ of Lemma 2.
+type MinorMap struct {
+	K, Cols int // grid dimensions: K rows? see below
+	// Parts[i-1][p-1] is γ(i, p).
+	Parts [][][]int
+}
+
+// NewMinorMap allocates an empty (rows × cols)-grid minor map.
+func NewMinorMap(rows, cols int) *MinorMap {
+	parts := make([][][]int, rows)
+	for i := range parts {
+		parts[i] = make([][]int, cols)
+	}
+	return &MinorMap{K: rows, Cols: cols, Parts: parts}
+}
+
+// Rows returns the number of grid rows (the k of the (k × K)-grid).
+func (m *MinorMap) Rows() int { return m.K }
+
+// Part returns γ(i, p) for 1-based grid coordinates.
+func (m *MinorMap) Part(i, p int) []int { return m.Parts[i-1][p-1] }
+
+// PositionOf returns the grid coordinates (i, p) whose part contains
+// the host vertex v, exploiting disjointness. ok is false if v is in
+// no part.
+func (m *MinorMap) PositionOf(v int) (i, p int, ok bool) {
+	for ri := range m.Parts {
+		for ci := range m.Parts[ri] {
+			for _, u := range m.Parts[ri][ci] {
+				if u == v {
+					return ri + 1, ci + 1, true
+				}
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// Verify checks that m is a minor map from the (rows × cols)-grid onto
+// the host graph: parts non-empty, connected, pairwise disjoint,
+// covering, and grid-edge adjacency witnessed.
+func (m *MinorMap) Verify(host *UGraph) error {
+	seen := map[int]bool{}
+	for i := 1; i <= m.K; i++ {
+		for p := 1; p <= m.Cols; p++ {
+			part := m.Part(i, p)
+			if len(part) == 0 {
+				return fmt.Errorf("graphalg: empty part γ(%d,%d)", i, p)
+			}
+			for _, v := range part {
+				if v < 0 || v >= host.N() {
+					return fmt.Errorf("graphalg: part γ(%d,%d) contains invalid vertex %d", i, p, v)
+				}
+				if seen[v] {
+					return fmt.Errorf("graphalg: vertex %d appears in two parts", v)
+				}
+				seen[v] = true
+			}
+			sub, _ := host.InducedSubgraph(part)
+			if !sub.IsConnected() {
+				return fmt.Errorf("graphalg: part γ(%d,%d) is not connected", i, p)
+			}
+		}
+	}
+	if len(seen) != host.N() {
+		return fmt.Errorf("graphalg: minor map is not onto (%d of %d vertices covered)", len(seen), host.N())
+	}
+	// Grid edges: (i,p)–(i,p+1) and (i,p)–(i+1,p).
+	check := func(a, b []int, i1, p1, i2, p2 int) error {
+		for _, u := range a {
+			for _, v := range b {
+				if host.HasEdge(u, v) {
+					return nil
+				}
+			}
+		}
+		return fmt.Errorf("graphalg: no host edge between γ(%d,%d) and γ(%d,%d)", i1, p1, i2, p2)
+	}
+	for i := 1; i <= m.K; i++ {
+		for p := 1; p <= m.Cols; p++ {
+			if p+1 <= m.Cols {
+				if err := check(m.Part(i, p), m.Part(i, p+1), i, p, i, p+1); err != nil {
+					return err
+				}
+			}
+			if i+1 <= m.K {
+				if err := check(m.Part(i, p), m.Part(i+1, p), i, p, i+1, p); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// GridMinorOntoGrid builds a minor map from the (k × K)-grid onto the
+// (hostRows × hostCols)-grid by partitioning the host rows into k
+// consecutive bands and the host columns into K consecutive bands;
+// γ(i, p) is the sub-grid band(i) × band(p), which is connected. The
+// construction requires hostRows ≥ k and hostCols ≥ K.
+func GridMinorOntoGrid(hostRows, hostCols, k, K int) (*MinorMap, error) {
+	if hostRows < k || hostCols < K {
+		return nil, fmt.Errorf("graphalg: host grid %dx%d too small for %dx%d minor", hostRows, hostCols, k, K)
+	}
+	rowBands := bands(hostRows, k)
+	colBands := bands(hostCols, K)
+	m := NewMinorMap(k, K)
+	for i := 1; i <= k; i++ {
+		for p := 1; p <= K; p++ {
+			var part []int
+			for _, r := range rowBands[i-1] {
+				for _, c := range colBands[p-1] {
+					part = append(part, GridID(r, c, hostCols))
+				}
+			}
+			m.Parts[i-1][p-1] = part
+		}
+	}
+	return m, nil
+}
+
+// GridMinorOntoClique builds a minor map from the (k × K)-grid onto
+// the clique K_n (n ≥ k·K): the n vertices are partitioned into k·K
+// consecutive chunks; any partition works because every pair of clique
+// vertices is adjacent and every non-empty subset is connected.
+func GridMinorOntoClique(n, k, K int) (*MinorMap, error) {
+	if n < k*K {
+		return nil, fmt.Errorf("graphalg: clique K_%d too small for %dx%d minor", n, k, K)
+	}
+	chunks := bands(n, k*K)
+	m := NewMinorMap(k, K)
+	idx := 0
+	for i := 1; i <= k; i++ {
+		for p := 1; p <= K; p++ {
+			m.Parts[i-1][p-1] = chunks[idx]
+			idx++
+		}
+	}
+	return m, nil
+}
+
+// bands partitions 0..n-1 into parts non-empty consecutive runs of
+// near-equal size.
+func bands(n, parts int) [][]int {
+	out := make([][]int, parts)
+	base, extra := n/parts, n%parts
+	v := 0
+	for i := 0; i < parts; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		for j := 0; j < size; j++ {
+			out[i] = append(out[i], v)
+			v++
+		}
+	}
+	return out
+}
+
+// PairBijection fixes the bijection ρ between {1, ..., C(k,2)} and the
+// unordered pairs of {1, ..., k} used throughout Section 4.2 of the
+// paper: pairs are enumerated lexicographically, ρ(1) = {1,2},
+// ρ(2) = {1,3}, and so on.
+type PairBijection struct {
+	k     int
+	pairs [][2]int
+}
+
+// NewPairBijection builds ρ for the given k ≥ 2.
+func NewPairBijection(k int) *PairBijection {
+	var pairs [][2]int
+	for i := 1; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	return &PairBijection{k: k, pairs: pairs}
+}
+
+// K returns C(k, 2), the number of pairs.
+func (b *PairBijection) K() int { return len(b.pairs) }
+
+// Pair returns ρ(p) for 1-based p.
+func (b *PairBijection) Pair(p int) (int, int) {
+	pr := b.pairs[p-1]
+	return pr[0], pr[1]
+}
+
+// Contains reports i ∈ ρ(p), the paper's "i ∈ p".
+func (b *PairBijection) Contains(p, i int) bool {
+	a, c := b.Pair(p)
+	return i == a || i == c
+}

@@ -1,0 +1,160 @@
+package graphalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randGraph(rng *rand.Rand, n int, p float64) *UGraph {
+	g := NewUGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// Treewidth is monotone under subgraphs (removing edges cannot raise
+// it) and bounded by n−1.
+func TestQuickTreewidthMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(6)
+		g := randGraph(rng, n, 0.5)
+		w, exact := Treewidth(g)
+		if !exact {
+			t.Fatalf("trial %d: inexact on n=%d", trial, n)
+		}
+		if w > n-1 {
+			t.Fatalf("trial %d: tw=%d > n-1", trial, w)
+		}
+		// Remove a random edge.
+		edges := g.Edges()
+		if len(edges) == 0 {
+			continue
+		}
+		e := edges[rng.Intn(len(edges))]
+		h := NewUGraph(n)
+		for _, f := range edges {
+			if f != e {
+				h.AddEdge(f[0], f[1])
+			}
+		}
+		w2, _ := Treewidth(h)
+		if w2 > w {
+			t.Fatalf("trial %d: removing edge raised tw %d -> %d", trial, w, w2)
+		}
+	}
+}
+
+// Every heuristic decomposition verifies and its width bounds the
+// exact treewidth from above; the MMD lower bound from below.
+func TestQuickDecompositionSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 80; trial++ {
+		n := 3 + rng.Intn(8)
+		g := randGraph(rng, n, 0.4)
+		td, ub := HeuristicDecomposition(g)
+		if err := td.Verify(g); err != nil {
+			t.Fatalf("trial %d: decomposition invalid: %v", trial, err)
+		}
+		if td.Width() != ub {
+			t.Fatalf("trial %d: reported width mismatch", trial)
+		}
+		w, exact := Treewidth(g)
+		if !exact {
+			continue
+		}
+		lb := TreewidthLowerBound(g)
+		if !(lb <= w && w <= ub) {
+			t.Fatalf("trial %d: lb=%d tw=%d ub=%d", trial, lb, w, ub)
+		}
+	}
+}
+
+// A decomposition from a random elimination order is always valid
+// (the fill-in construction is correct for any order), and its width
+// is an upper bound.
+func TestQuickDecompositionFromRandomOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(8)
+		g := randGraph(rng, n, 0.5)
+		order := rng.Perm(n)
+		td := DecompositionFromOrder(g, order)
+		if err := td.Verify(g); err != nil {
+			t.Fatalf("trial %d: %v\norder=%v edges=%v", trial, err, order, g.Edges())
+		}
+		w, exact := Treewidth(g)
+		if exact && td.Width() < w {
+			t.Fatalf("trial %d: decomposition width %d below tw %d", trial, td.Width(), w)
+		}
+	}
+}
+
+func TestDecompositionKnownShapes(t *testing.T) {
+	// Path: heuristic is optimal (width 1).
+	td, w := HeuristicDecomposition(Path(8))
+	if w != 1 {
+		t.Fatalf("path width: %d", w)
+	}
+	if err := td.Verify(Path(8)); err != nil {
+		t.Fatal(err)
+	}
+	// Clique: width n−1.
+	_, w = HeuristicDecomposition(Clique(5))
+	if w != 4 {
+		t.Fatalf("K5 width: %d", w)
+	}
+	// Empty graph.
+	td = DecompositionFromOrder(NewUGraph(0), nil)
+	if err := td.Verify(NewUGraph(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Disconnected graph.
+	g := NewUGraph(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(3, 4)
+	td, _ = HeuristicDecomposition(g)
+	if err := td.Verify(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// HasClique agrees with a spec that checks all C(n,k) subsets.
+func TestQuickHasCliqueAgainstSpec(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 120; trial++ {
+		n := 3 + rng.Intn(5)
+		g := randGraph(rng, n, 0.5)
+		for k := 2; k <= 4; k++ {
+			want := specHasClique(g, k)
+			if got := HasClique(g, k); got != want {
+				t.Fatalf("trial %d k=%d: got %v want %v (edges %v)", trial, k, got, want, g.Edges())
+			}
+		}
+	}
+}
+
+func specHasClique(g *UGraph, k int) bool {
+	n := g.N()
+	var cur []int
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		if len(cur) == k {
+			return g.IsCliqueOn(cur)
+		}
+		for v := start; v < n; v++ {
+			cur = append(cur, v)
+			if g.IsCliqueOn(cur) && rec(v+1) {
+				return true
+			}
+			cur = cur[:len(cur)-1]
+		}
+		return false
+	}
+	return rec(0)
+}

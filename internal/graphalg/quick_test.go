@@ -1,0 +1,96 @@
+package graphalg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// testing/quick checks of the UGraph invariants.
+
+func ugraphConfig() *quick.Config {
+	return &quick.Config{
+		MaxCount: 200,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			for i := range args {
+				args[i] = reflect.ValueOf(randGraph(rng, 2+rng.Intn(8), 0.4))
+			}
+		},
+	}
+}
+
+func TestQuickEdgeSymmetry(t *testing.T) {
+	prop := func(g *UGraph) bool {
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.Neighbors(u) {
+				if !g.HasEdge(v, u) {
+					return false
+				}
+				if u == v {
+					return false // no self-loops
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, ugraphConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDegreeSum(t *testing.T) {
+	prop := func(g *UGraph) bool {
+		sum := 0
+		for v := 0; v < g.N(); v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.EdgeCount()
+	}
+	if err := quick.Check(prop, ugraphConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickComponentsPartition(t *testing.T) {
+	prop := func(g *UGraph) bool {
+		seen := map[int]int{}
+		for _, comp := range g.Components() {
+			for _, v := range comp {
+				seen[v]++
+			}
+		}
+		if len(seen) != g.N() {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, ugraphConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCloneEqualStructure(t *testing.T) {
+	prop := func(g *UGraph) bool {
+		c := g.Clone()
+		if c.N() != g.N() || c.EdgeCount() != g.EdgeCount() {
+			return false
+		}
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				if g.HasEdge(u, v) != c.HasEdge(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, ugraphConfig()); err != nil {
+		t.Fatal(err)
+	}
+}

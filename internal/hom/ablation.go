@@ -1,0 +1,91 @@
+package hom
+
+import (
+	"wdsparql/internal/rdf"
+)
+
+// This file contains ablation variants of the homomorphism solver,
+// kept separate from the production path. They quantify the value of
+// the fail-first pattern-selection heuristic in the benchmark suite
+// (DESIGN.md, ablation benches); production code should use Exists and
+// friends.
+
+// ExistsStaticOrder is Exists with the fail-first heuristic disabled:
+// patterns are expanded in their given (sorted) order regardless of
+// how many matches they admit. Worst-case behaviour is identical; on
+// structured instances the ordering heuristic typically wins by large
+// factors.
+func ExistsStaticOrder(pats []rdf.Triple, g *rdf.Graph) bool {
+	assign := rdf.NewMapping()
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(pats) {
+			return true
+		}
+		p := assign.Apply(pats[i])
+		for _, t := range g.Match(p) {
+			newVars := bindMatch(p, t, assign)
+			if rec(i + 1) {
+				return true
+			}
+			for _, v := range newVars {
+				delete(assign, v)
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// CountSearchNodes runs the production solver and returns the number
+// of search-tree nodes expanded before the first solution (or
+// exhaustion); used by the ablation benchmarks to report work rather
+// than only wall time.
+func CountSearchNodes(pats []rdf.Triple, g *rdf.Graph) (found bool, nodes int) {
+	st := newSearch(pats, g, 1)
+	nodes = countingRun(st)
+	return len(st.found) > 0, nodes
+}
+
+func countingRun(s *search) int {
+	nodes := 0
+	var rec func(remaining int) bool
+	rec = func(remaining int) bool {
+		nodes++
+		if remaining == 0 {
+			s.found = append(s.found, s.assign.Clone())
+			return s.limit <= 0 || len(s.found) < s.limit
+		}
+		best, bestCount := -1, -1
+		for i, p := range s.pats {
+			if s.done[i] {
+				continue
+			}
+			c := s.g.MatchCount(s.assign.Apply(p))
+			if c == 0 {
+				return true
+			}
+			if best == -1 || c < bestCount {
+				best, bestCount = i, c
+				if c == 1 {
+					break
+				}
+			}
+		}
+		p := s.assign.Apply(s.pats[best])
+		s.done[best] = true
+		defer func() { s.done[best] = false }()
+		for _, t := range s.g.Match(p) {
+			newVars := bindMatch(p, t, s.assign)
+			if !rec(remaining - 1) {
+				return false
+			}
+			for _, v := range newVars {
+				delete(s.assign, v)
+			}
+		}
+		return true
+	}
+	rec(len(s.pats))
+	return nodes
+}

@@ -1,0 +1,81 @@
+package hom
+
+import (
+	"math/rand"
+	"testing"
+
+	"wdsparql/internal/rdf"
+)
+
+// ExistsAC must agree with Exists everywhere; ComputeDomains must
+// never prune a value that participates in a solution.
+
+func TestQuickExistsACAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	for trial := 0; trial < 400; trial++ {
+		pats, g := randTinyInstance(rng)
+		want := Exists(pats, g)
+		if got := ExistsAC(pats, g); got != want {
+			t.Fatalf("trial %d: AC=%v plain=%v\npats=%v\nG=%s",
+				trial, got, want, pats, rdf.FormatGraph(g))
+		}
+	}
+}
+
+func TestQuickDomainsPreserveSolutions(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	for trial := 0; trial < 250; trial++ {
+		pats, g := randTinyInstance(rng)
+		dom, ok := ComputeDomains(pats, g)
+		sols := FindAll(pats, g, 0)
+		if len(sols) > 0 && !ok {
+			t.Fatalf("trial %d: AC refuted a satisfiable instance", trial)
+		}
+		for _, mu := range sols {
+			for v, val := range mu {
+				if d, has := dom[v]; has && !d[val] {
+					t.Fatalf("trial %d: AC pruned solution value %s=%s\npats=%v\nG=%s",
+						trial, v, val, pats, rdf.FormatGraph(g))
+				}
+			}
+		}
+	}
+}
+
+func TestComputeDomainsGroundFailure(t *testing.T) {
+	g := rdf.GraphOf(rdf.T(rdf.IRI("a"), rdf.IRI("p"), rdf.IRI("b")))
+	// Pattern containing a false ground triple plus a variable one.
+	pats := []rdf.Triple{
+		rdf.T(rdf.IRI("x"), rdf.IRI("p"), rdf.IRI("y")),
+		rdf.T(rdf.Var("v"), rdf.IRI("p"), rdf.Var("w")),
+	}
+	if _, ok := ComputeDomains(pats, g); ok {
+		t.Fatal("false ground triple must refute")
+	}
+	if ExistsAC(pats, g) {
+		t.Fatal("ExistsAC must refute")
+	}
+}
+
+func TestComputeDomainsPrunesChain(t *testing.T) {
+	// Chain ?a -p-> ?b -p-> ?c over a path a->b->c: AC should pin the
+	// middle variable to b.
+	g := rdf.GraphOf(
+		rdf.T(rdf.IRI("a"), rdf.IRI("p"), rdf.IRI("b")),
+		rdf.T(rdf.IRI("b"), rdf.IRI("p"), rdf.IRI("c")),
+	)
+	pats := []rdf.Triple{
+		rdf.T(rdf.Var("a"), rdf.IRI("p"), rdf.Var("b")),
+		rdf.T(rdf.Var("b"), rdf.IRI("p"), rdf.Var("c")),
+	}
+	dom, ok := ComputeDomains(pats, g)
+	if !ok {
+		t.Fatal("satisfiable")
+	}
+	if len(dom["b"]) != 1 || !dom["b"]["b"] {
+		t.Fatalf("middle variable domain: %v", dom["b"])
+	}
+	if len(dom["a"]) != 1 || !dom["a"]["a"] {
+		t.Fatalf("first variable domain: %v", dom["a"])
+	}
+}

@@ -1,0 +1,202 @@
+package hom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wdsparql/internal/rdf"
+)
+
+// Property tests validating the solver against a brute-force oracle
+// and the core computation against Proposition 1's guarantees.
+
+// bruteExists enumerates every total assignment vars → dom(G) and
+// checks the triples directly; exponential, only for tiny instances.
+func bruteExists(pats []rdf.Triple, g *rdf.Graph) bool {
+	vars := rdf.VarsOf(pats)
+	dom := g.Dom()
+	if len(vars) == 0 {
+		for _, p := range pats {
+			if !g.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	assign := rdf.NewMapping()
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(vars) {
+			for _, p := range pats {
+				if !g.Contains(assign.Apply(p)) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, d := range dom {
+			assign[vars[i].Value] = d
+			if rec(i + 1) {
+				return true
+			}
+		}
+		delete(assign, vars[i].Value)
+		return false
+	}
+	return rec(0)
+}
+
+func randTinyInstance(rng *rand.Rand) ([]rdf.Triple, *rdf.Graph) {
+	nvars := 1 + rng.Intn(3)
+	var pats []rdf.Triple
+	term := func() rdf.Term {
+		if rng.Intn(4) == 0 {
+			return rdf.IRI([]string{"a", "b"}[rng.Intn(2)])
+		}
+		return rdf.Var(fmt.Sprintf("v%d", rng.Intn(nvars)))
+	}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		pats = append(pats, rdf.T(term(), rdf.IRI([]string{"p", "q"}[rng.Intn(2)]), term()))
+	}
+	g := rdf.NewGraph()
+	nodes := []string{"a", "b", "c"}
+	for i := 0; i < 1+rng.Intn(6); i++ {
+		g.AddTriple(nodes[rng.Intn(3)], []string{"p", "q"}[rng.Intn(2)], nodes[rng.Intn(3)])
+	}
+	return pats, g
+}
+
+func TestQuickSolverAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 500; trial++ {
+		pats, g := randTinyInstance(rng)
+		want := bruteExists(pats, g)
+		if got := Exists(pats, g); got != want {
+			t.Fatalf("trial %d: solver=%v brute=%v\npats=%v\nG=%s",
+				trial, got, want, pats, rdf.FormatGraph(g))
+		}
+		if got := ExistsStaticOrder(pats, g); got != want {
+			t.Fatalf("trial %d: static-order solver=%v brute=%v", trial, got, want)
+		}
+	}
+}
+
+func TestQuickFindAllMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		pats, g := randTinyInstance(rng)
+		all := FindAll(pats, g, 0)
+		// Every found mapping must be a homomorphism...
+		for _, m := range all {
+			for _, p := range pats {
+				img := m.Apply(p)
+				if !img.Ground() || !g.Contains(img) {
+					t.Fatalf("trial %d: returned non-homomorphism %s", trial, m)
+				}
+			}
+		}
+		// ...and no duplicates.
+		seen := map[string]bool{}
+		for _, m := range all {
+			k := m.Key()
+			if seen[k] {
+				t.Fatalf("trial %d: duplicate %s", trial, m)
+			}
+			seen[k] = true
+		}
+		// Existence agrees.
+		if (len(all) > 0) != bruteExists(pats, g) {
+			t.Fatalf("trial %d: FindAll emptiness disagrees with brute force", trial)
+		}
+	}
+}
+
+func randTinyGTGraph(rng *rand.Rand) GTGraph {
+	nvars := 2 + rng.Intn(4)
+	var ts []rdf.Triple
+	vt := func() rdf.Term { return rdf.Var(fmt.Sprintf("v%d", rng.Intn(nvars))) }
+	for i := 0; i < 2+rng.Intn(4); i++ {
+		ts = append(ts, rdf.T(vt(), rdf.IRI([]string{"p", "q"}[rng.Intn(2)]), vt()))
+	}
+	var x []rdf.Term
+	if rng.Intn(2) == 0 {
+		x = append(x, rdf.Var("v0"))
+	}
+	return NewGTGraph(NewTGraph(ts...), x)
+}
+
+// Proposition 1 consequences: Core(g) is a core, hom-equivalent to g,
+// idempotent, and a subgraph of g.
+func TestQuickCoreProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 300; trial++ {
+		g := randTinyGTGraph(rng)
+		c := Core(g)
+		if !c.S.SubsetOf(g.S) {
+			t.Fatalf("trial %d: core not a subgraph", trial)
+		}
+		if !IsCore(c) {
+			t.Fatalf("trial %d: Core produced a non-core: %s from %s", trial, c, g)
+		}
+		if !Equivalent(g, c) {
+			t.Fatalf("trial %d: core not equivalent: %s vs %s", trial, g, c)
+		}
+		cc := Core(c)
+		if !cc.S.Equal(c.S) {
+			t.Fatalf("trial %d: Core not idempotent", trial)
+		}
+		// Distinguished variables must survive in the core whenever
+		// they survive in some triple.
+		for _, x := range g.X {
+			found := false
+			for _, v := range c.S.Vars() {
+				if v == x {
+					found = true
+				}
+			}
+			if !found {
+				// x ∈ vars(S) always (NewGTGraph drops others), and
+				// homs fix x, so some triple mentioning x must remain.
+				t.Fatalf("trial %d: distinguished %s vanished from core %s", trial, x, c)
+			}
+		}
+	}
+}
+
+// Hom is reflexive and transitive (the paper uses transitivity of →
+// throughout Section 3).
+func TestQuickHomPreorder(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 120; trial++ {
+		a := randTinyGTGraph(rng)
+		if !Hom(a, a) {
+			t.Fatalf("trial %d: → not reflexive on %s", trial, a)
+		}
+		b := randTinyGTGraph(rng)
+		c := randTinyGTGraph(rng)
+		// Align distinguished sets: transitivity is only stated for a
+		// common X; use none for simplicity.
+		a2 := NewGTGraph(a.S, nil)
+		b2 := NewGTGraph(b.S, nil)
+		c2 := NewGTGraph(c.S, nil)
+		if Hom(a2, b2) && Hom(b2, c2) && !Hom(a2, c2) {
+			t.Fatalf("trial %d: → not transitive", trial)
+		}
+	}
+}
+
+// CountSearchNodes agrees with Exists.
+func TestCountSearchNodesAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 100; trial++ {
+		pats, g := randTinyInstance(rng)
+		found, nodes := CountSearchNodes(pats, g)
+		if found != Exists(pats, g) {
+			t.Fatalf("trial %d: CountSearchNodes disagrees", trial)
+		}
+		if nodes <= 0 {
+			t.Fatalf("trial %d: nonpositive node count", trial)
+		}
+	}
+}

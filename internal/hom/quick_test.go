@@ -1,0 +1,114 @@
+package hom
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"wdsparql/internal/rdf"
+)
+
+// testing/quick checks of the TGraph data-structure invariants.
+
+func genTGraph(rng *rand.Rand) TGraph {
+	var ts []rdf.Triple
+	term := func() rdf.Term {
+		if rng.Intn(3) == 0 {
+			return rdf.IRI([]string{"a", "b"}[rng.Intn(2)])
+		}
+		return rdf.Var(fmt.Sprintf("v%d", rng.Intn(4)))
+	}
+	n := rng.Intn(6)
+	for i := 0; i < n; i++ {
+		ts = append(ts, rdf.T(term(), rdf.IRI([]string{"p", "q"}[rng.Intn(2)]), term()))
+	}
+	return NewTGraph(ts...)
+}
+
+func tgraphConfig() *quick.Config {
+	return &quick.Config{
+		MaxCount: 300,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			for i := range args {
+				args[i] = reflect.ValueOf(genTGraph(rng))
+			}
+		},
+	}
+}
+
+func TestQuickTGraphUnionLaws(t *testing.T) {
+	// Union is commutative, associative, idempotent, and monotone.
+	comm := func(a, b TGraph) bool { return a.Union(b).Equal(b.Union(a)) }
+	if err := quick.Check(comm, tgraphConfig()); err != nil {
+		t.Fatal(err)
+	}
+	assoc := func(a, b, c TGraph) bool {
+		return a.Union(b).Union(c).Equal(a.Union(b.Union(c)))
+	}
+	if err := quick.Check(assoc, tgraphConfig()); err != nil {
+		t.Fatal(err)
+	}
+	idem := func(a TGraph) bool { return a.Union(a).Equal(a) }
+	if err := quick.Check(idem, tgraphConfig()); err != nil {
+		t.Fatal(err)
+	}
+	mono := func(a, b TGraph) bool { return a.SubsetOf(a.Union(b)) && b.SubsetOf(a.Union(b)) }
+	if err := quick.Check(mono, tgraphConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTGraphSortedDeduped(t *testing.T) {
+	prop := func(a TGraph) bool {
+		for i := 1; i < len(a); i++ {
+			if !a[i-1].Less(a[i]) {
+				return false // must be strictly increasing (sorted, deduped)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, tgraphConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFreezeBijective(t *testing.T) {
+	prop := func(a TGraph) bool {
+		frozen := Freeze(a)
+		if frozen.Len() != len(a) {
+			return false
+		}
+		// Thawing every frozen triple recovers the original t-graph.
+		var back []rdf.Triple
+		for _, tr := range frozen.Triples() {
+			back = append(back, rdf.T(ThawTerm(tr.S), ThawTerm(tr.P), ThawTerm(tr.O)))
+		}
+		return NewTGraph(back...).Equal(a)
+	}
+	if err := quick.Check(prop, tgraphConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGTGraphXSubsetVars(t *testing.T) {
+	cfg := tgraphConfig()
+	prop := func(a TGraph) bool {
+		g := NewGTGraph(a, []rdf.Term{rdf.Var("v0"), rdf.Var("zzz")})
+		inVars := map[rdf.Term]bool{}
+		for _, v := range a.Vars() {
+			inVars[v] = true
+		}
+		for _, x := range g.X {
+			if !inVars[x] {
+				return false // X ⊆ vars(S) must be enforced
+			}
+		}
+		// Free vars and X partition vars(S).
+		return len(g.FreeVars())+len(g.X) == len(a.Vars())
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+package hom
+
+import (
+	"wdsparql/internal/rdf"
+)
+
+// This file implements homomorphism search from a set of triple
+// patterns into an RDF graph as a backtracking join: at every step the
+// remaining pattern with the fewest matches under the current partial
+// assignment is expanded (a fail-first / most-constrained-first
+// heuristic), and its matches drive the branching.
+//
+// Deciding the existence of a homomorphism is NP-complete in general
+// (Chandra–Merlin); this solver is the exact (exponential worst-case)
+// procedure that the paper's "natural algorithm" for wdPF evaluation
+// relies on, and the baseline that the existential-pebble-game
+// relaxation of internal/pebble is compared against.
+
+// Exists reports whether there is a homomorphism h with
+// dom(h) = vars(pats) such that h(t) ∈ g for every t ∈ pats.
+// IRIs map to themselves; an empty pattern set admits the empty
+// homomorphism.
+func Exists(pats []rdf.Triple, g *rdf.Graph) bool {
+	_, ok := Find(pats, g)
+	return ok
+}
+
+// ExistsExtending reports whether there is a homomorphism from pats to
+// g that extends µ, i.e. the paper's (S, dom(µ)) →µ G. It first
+// applies µ to the patterns and then searches for the remaining
+// variables.
+func ExistsExtending(pats []rdf.Triple, mu rdf.Mapping, g *rdf.Graph) bool {
+	return Exists(mu.ApplyAll(pats), g)
+}
+
+// Find returns a homomorphism from pats to g if one exists. The
+// returned mapping binds exactly vars(pats).
+func Find(pats []rdf.Triple, g *rdf.Graph) (rdf.Mapping, bool) {
+	st := newSearch(pats, g, 1)
+	st.run()
+	if len(st.found) == 0 {
+		return nil, false
+	}
+	return st.found[0], true
+}
+
+// FindAll returns all homomorphisms from pats to g, up to limit
+// (limit ≤ 0 means no limit). The result contains no duplicates.
+func FindAll(pats []rdf.Triple, g *rdf.Graph, limit int) []rdf.Mapping {
+	st := newSearch(pats, g, limit)
+	st.run()
+	return st.found
+}
+
+// FindExtending returns a homomorphism from pats to g extending µ, if
+// any; the returned mapping includes µ's bindings for variables of
+// pats that µ binds.
+func FindExtending(pats []rdf.Triple, mu rdf.Mapping, g *rdf.Graph) (rdf.Mapping, bool) {
+	sub := mu.ApplyAll(pats)
+	h, ok := Find(sub, g)
+	if !ok {
+		return nil, false
+	}
+	// Re-attach the bindings of µ that concern pats.
+	for _, v := range rdf.VarsOf(pats) {
+		if img, bound := mu.Lookup(v); bound {
+			h[v.Value] = img.Value
+		}
+	}
+	return h, true
+}
+
+type search struct {
+	g      *rdf.Graph
+	limit  int
+	pats   []rdf.Triple
+	done   []bool
+	assign rdf.Mapping
+	found  []rdf.Mapping
+}
+
+func newSearch(pats []rdf.Triple, g *rdf.Graph, limit int) *search {
+	return &search{
+		g:      g,
+		limit:  limit,
+		pats:   append([]rdf.Triple{}, pats...),
+		done:   make([]bool, len(pats)),
+		assign: rdf.NewMapping(),
+	}
+}
+
+func (s *search) run() {
+	s.rec(len(s.pats))
+}
+
+// rec expands one remaining pattern; remaining counts patterns not yet
+// matched. It returns false when the search should stop (limit hit).
+func (s *search) rec(remaining int) bool {
+	if remaining == 0 {
+		s.found = append(s.found, s.assign.Clone())
+		return s.limit <= 0 || len(s.found) < s.limit
+	}
+	// Pick the remaining pattern with the fewest matches under the
+	// current assignment (fail-first).
+	best, bestCount := -1, -1
+	for i, p := range s.pats {
+		if s.done[i] {
+			continue
+		}
+		c := s.g.MatchCount(s.assign.Apply(p))
+		if c == 0 {
+			return true // dead branch; keep searching elsewhere
+		}
+		if best == -1 || c < bestCount {
+			best, bestCount = i, c
+			if c == 1 {
+				break
+			}
+		}
+	}
+	p := s.assign.Apply(s.pats[best])
+	s.done[best] = true
+	defer func() { s.done[best] = false }()
+	for _, t := range s.g.Match(p) {
+		newVars := bindMatch(p, t, s.assign)
+		if !s.rec(remaining - 1) {
+			return false
+		}
+		for _, v := range newVars {
+			delete(s.assign, v)
+		}
+	}
+	return true
+}
+
+// bindMatch extends assign with the bindings induced by matching
+// pattern p (already µ-substituted) against ground triple t, returning
+// the names of newly bound variables for backtracking.
+func bindMatch(p, t rdf.Triple, assign rdf.Mapping) []string {
+	var newVars []string
+	pa, ta := p.Terms(), t.Terms()
+	for i := 0; i < 3; i++ {
+		if pa[i].IsVar() {
+			if _, ok := assign[pa[i].Value]; !ok {
+				assign[pa[i].Value] = ta[i].Value
+				newVars = append(newVars, pa[i].Value)
+			}
+		}
+	}
+	return newVars
+}
+
+// Hom reports whether (from) → (to) holds for generalised t-graphs
+// sharing the distinguished set X: a homomorphism from from.S to to.S
+// that fixes every variable of from.X (Section 3 of the paper).
+func Hom(from, to GTGraph) bool {
+	return Exists(freezeSource(from), Freeze(to.S))
+}
+
+// FindHom returns a witnessing homomorphism for (from) → (to) as a
+// partial function from the variables of from.S to terms of to.S.
+// Distinguished variables are included, mapped to themselves.
+func FindHom(from, to GTGraph) (map[rdf.Term]rdf.Term, bool) {
+	h, ok := Find(freezeSource(from), Freeze(to.S))
+	if !ok {
+		return nil, false
+	}
+	out := map[rdf.Term]rdf.Term{}
+	for _, v := range from.S.Vars() {
+		if from.IsDistinguished(v) {
+			out[v] = v
+			continue
+		}
+		img, bound := h.Lookup(v)
+		if !bound {
+			// Variable absent from the frozen search (cannot happen
+			// for vars(S), every variable occurs in a triple).
+			out[v] = v
+			continue
+		}
+		out[v] = ThawTerm(img)
+	}
+	return out, true
+}
+
+// HomTo reports (from) →µ G: a homomorphism from from.S to the RDF
+// graph g mapping each x ∈ from.X to µ(x). µ must bind exactly the
+// distinguished variables (extra bindings are ignored, missing ones
+// make the test fail unless the variable does not occur).
+func HomTo(from GTGraph, mu rdf.Mapping, g *rdf.Graph) bool {
+	for _, x := range from.X {
+		if !mu.Defined(x) {
+			return false
+		}
+	}
+	return ExistsExtending(from.S, mu, g)
+}
+
+// Equivalent reports homomorphic equivalence (from) ⇆ (to).
+func Equivalent(a, b GTGraph) bool {
+	return Hom(a, b) && Hom(b, a)
+}

@@ -1,0 +1,295 @@
+package hom
+
+import (
+	"sort"
+
+	"wdsparql/internal/graphalg"
+	"wdsparql/internal/rdf"
+)
+
+// Tree-decomposition-guided homomorphism solving: the classical
+// Dalmau–Kolaitis–Vardi route behind the paper's Proposition 3. A tree
+// decomposition of the pattern's Gaifman graph is computed (exact for
+// the small patterns arising from queries), satisfying assignments are
+// enumerated per bag, and a bottom-up semi-join keeps exactly the bag
+// tuples extensible through every child. The running time is
+// O(poly(|S|, |G|) · |dom(G)|^{w+1}) for width w — polynomial for every
+// fixed width, matching the pebble game's guarantee but producing
+// exact answers for *every* instance (at exponential cost when the
+// pattern's treewidth is large).
+//
+// ExistsTD always agrees with Exists (property-tested). Its value is
+// the worst-case guarantee: unlike backtracking it can never thrash on
+// a bounded-treewidth pattern, at the cost of always paying the bag
+// enumeration up front (see BenchmarkExistsTDvsBacktracking).
+
+// ExistsTD reports homomorphism existence via tree-decomposition
+// dynamic programming.
+func ExistsTD(pats []rdf.Triple, g *rdf.Graph) bool {
+	// Ground triples are checked directly; they occupy no bag.
+	var varTriples []rdf.Triple
+	for _, p := range pats {
+		if p.Ground() {
+			if !g.Contains(p) {
+				return false
+			}
+			continue
+		}
+		varTriples = append(varTriples, p)
+	}
+	if len(varTriples) == 0 {
+		return true
+	}
+	// Arc-consistent domains; empty domain refutes.
+	domains, ok := ComputeDomains(varTriples, g)
+	if !ok {
+		return false
+	}
+
+	vars := rdf.VarsOf(varTriples)
+	idx := map[rdf.Term]int{}
+	for i, v := range vars {
+		idx[v] = i
+	}
+	// Gaifman graph over all variables (no distinguished set here —
+	// callers substitute µ beforehand).
+	ug := graphalg.NewUGraph(len(vars))
+	for i, v := range vars {
+		ug.SetLabel(i, v.String())
+	}
+	for _, t := range varTriples {
+		vs := t.Vars()
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				ug.AddEdge(idx[vs[i]], idx[vs[j]])
+			}
+		}
+	}
+	td, _, _ := graphalg.ExactDecomposition(ug)
+	return runTDDP(td, vars, varTriples, domains, g)
+}
+
+// runTDDP executes the bottom-up join over the decomposition.
+func runTDDP(td *graphalg.TreeDecomposition, vars []rdf.Term, pats []rdf.Triple, domains Domains, g *rdf.Graph) bool {
+	nBags := len(td.Bags)
+	if nBags == 0 {
+		return true
+	}
+	adj := make([][]int, nBags)
+	for _, e := range td.Edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	// Assign each triple to one bag containing all its variables.
+	// Triple variables form a clique in the Gaifman graph, so such a
+	// bag exists in any valid decomposition.
+	bagVarSets := make([]map[int]bool, nBags)
+	for b, bag := range td.Bags {
+		bagVarSets[b] = map[int]bool{}
+		for _, v := range bag {
+			bagVarSets[b][v] = true
+		}
+	}
+	varIdx := map[rdf.Term]int{}
+	for i, v := range vars {
+		varIdx[v] = i
+	}
+	bagTriples := make([][]rdf.Triple, nBags)
+	for _, t := range pats {
+		placed := false
+		for b := range td.Bags {
+			all := true
+			for _, v := range t.Vars() {
+				if !bagVarSets[b][varIdx[v]] {
+					all = false
+					break
+				}
+			}
+			if all {
+				bagTriples[b] = append(bagTriples[b], t)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// Cannot happen with a valid decomposition; fall back to
+			// the exact solver rather than mis-answer.
+			return Exists(pats, g)
+		}
+	}
+
+	// Post-order over the rooted tree at bag 0.
+	order, parent := postOrder(adj, nBags)
+	// tuples[b]: surviving assignments of bag b, each as a value slice
+	// aligned with sorted bag var ids.
+	type tupleSet struct {
+		bagVars []int // sorted variable ids of the bag
+		keys    map[string][]string
+	}
+	sets := make([]*tupleSet, nBags)
+	for _, b := range order {
+		bag := append([]int{}, td.Bags[b]...)
+		sort.Ints(bag)
+		ts := &tupleSet{bagVars: bag, keys: map[string][]string{}}
+		// Child shared-projection indexes, built from already-processed
+		// children.
+		type childIndex struct {
+			shared []int // positions in this bag's var list
+			seen   map[string]bool
+		}
+		var children []childIndex
+		for _, c := range adj[b] {
+			if parent[b] == c {
+				continue
+			}
+			cs := sets[c]
+			sharedIDs := intersectSorted(bag, cs.bagVars)
+			proj := map[string]bool{}
+			for _, tup := range cs.keys {
+				proj[projectTuple(cs.bagVars, tup, sharedIDs)] = true
+			}
+			children = append(children, childIndex{shared: positionsOf(bag, sharedIDs), seen: proj})
+		}
+		// Enumerate satisfying assignments of the bag.
+		enumerateBag(bag, vars, domains, bagTriples[b], g, func(tup []string) {
+			// Child compatibility.
+			for _, ci := range children {
+				key := projectPositions(tup, ci.shared)
+				if !ci.seen[key] {
+					return
+				}
+			}
+			ts.keys[joinKey(tup)] = append([]string{}, tup...)
+		})
+		if len(ts.keys) == 0 {
+			return false
+		}
+		sets[b] = ts
+	}
+	return true
+}
+
+// postOrder returns a post-order traversal of the tree rooted at 0 and
+// the parent array.
+func postOrder(adj [][]int, n int) ([]int, []int) {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var order []int
+	visited := make([]bool, n)
+	var dfs func(v int)
+	dfs = func(v int) {
+		visited[v] = true
+		for _, u := range adj[v] {
+			if !visited[u] {
+				parent[u] = v
+				dfs(u)
+			}
+		}
+		order = append(order, v)
+	}
+	for v := 0; v < n; v++ {
+		if !visited[v] {
+			dfs(v)
+		}
+	}
+	return order, parent
+}
+
+// enumerateBag backtracks over the bag's variables using the AC
+// domains, checking the bag's triples once fully covered, and calls
+// emit for every satisfying tuple (values aligned with the sorted bag
+// variable ids).
+func enumerateBag(bag []int, vars []rdf.Term, domains Domains, triples []rdf.Triple, g *rdf.Graph, emit func([]string)) {
+	assign := rdf.NewMapping()
+	tup := make([]string, len(bag))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(bag) {
+			for _, t := range triples {
+				img := assign.Apply(t)
+				if !img.Ground() || !g.Contains(img) {
+					return
+				}
+			}
+			emit(tup)
+			return
+		}
+		name := vars[bag[i]].Value
+		for val := range domains[name] {
+			assign[name] = val
+			tup[i] = val
+			// Early check: triples fully covered by the assigned prefix.
+			ok := true
+			for _, t := range triples {
+				if !mentionsVar(t, vars[bag[i]]) {
+					continue
+				}
+				img := assign.Apply(t)
+				if img.Ground() && !g.Contains(img) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rec(i + 1)
+			}
+		}
+		delete(assign, name)
+	}
+	rec(0)
+}
+
+func mentionsVar(t rdf.Triple, v rdf.Term) bool {
+	return t.S == v || t.P == v || t.O == v
+}
+
+func intersectSorted(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// positionsOf maps each id of sub to its index within the sorted bag.
+func positionsOf(bag, sub []int) []int {
+	out := make([]int, len(sub))
+	for i, id := range sub {
+		out[i] = sort.SearchInts(bag, id)
+	}
+	return out
+}
+
+// projectTuple projects a tuple over bagVars onto the given shared ids.
+func projectTuple(bagVars []int, tup []string, shared []int) string {
+	pos := positionsOf(bagVars, shared)
+	return projectPositions(tup, pos)
+}
+
+func projectPositions(tup []string, pos []int) string {
+	key := ""
+	for _, p := range pos {
+		key += tup[p] + "\x00"
+	}
+	return key
+}
+
+func joinKey(tup []string) string {
+	key := ""
+	for _, v := range tup {
+		key += v + "\x00"
+	}
+	return key
+}

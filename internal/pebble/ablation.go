@@ -1,0 +1,40 @@
+package pebble
+
+import (
+	"fmt"
+
+	"wdsparql/internal/hom"
+	"wdsparql/internal/rdf"
+)
+
+// DecideNoUnaryPruning is Decide with the unary candidate pruning
+// disabled: every variable's candidate list is the full domain of G.
+// The closure reaches the same fixpoint (singleton constraints are
+// still enforced during enumeration), so verdicts are identical; the
+// variant exists to quantify the pruning's effect in the ablation
+// benchmarks and must not be used in production paths.
+func DecideNoUnaryPruning(k int, g hom.GTGraph, mu rdf.Mapping, target *rdf.Graph) bool {
+	if k < 2 {
+		panic(fmt.Sprintf("pebble: k must be ≥ 2, got %d", k))
+	}
+	for _, x := range g.X {
+		if !mu.Defined(x) {
+			return false
+		}
+	}
+	inst, ok := newInstance(k, g, mu, target)
+	if !ok {
+		return false
+	}
+	if inst.n == 0 {
+		return true
+	}
+	full := make([]int32, inst.d)
+	for i := range full {
+		full[i] = int32(i)
+	}
+	for v := range inst.cand {
+		inst.cand[v] = full
+	}
+	return inst.run()
+}

@@ -1,0 +1,488 @@
+// Package pebble implements the existential k-pebble game of Kolaitis
+// and Vardi in the form used by the paper (Section 3): given a
+// generalised t-graph (S, X), an RDF graph G and a mapping µ with
+// dom(µ) = X, decide whether the Duplicator wins the game, written
+// (S, X) →ᵏ_µ G.
+//
+// The decision procedure is the standard k-consistency closure: it
+// maintains, for every set D of at most k free variables, the set of
+// partial assignments D → dom(G) that are partial homomorphisms, and
+// deletes an assignment when it cannot be extended to some further
+// variable ("forth" condition) or when a superset assignment must be
+// deleted (restriction closure). The Duplicator wins iff the empty
+// assignment survives. The closure runs in time polynomial in
+// (|vars(S)|·|dom(G)|)ᵏ for every fixed k (Proposition 2 of the
+// paper); the pay-off, Proposition 3, is that →ᵏ coincides with →
+// whenever the core of (S, X) has treewidth at most k−1.
+package pebble
+
+import (
+	"fmt"
+	"sort"
+
+	"wdsparql/internal/hom"
+	"wdsparql/internal/rdf"
+)
+
+// Decide reports whether (S, X) →ᵏ_µ G, i.e. whether the Duplicator
+// wins the existential k-pebble game on (g.S, g.X), target and µ.
+// k must be at least 2. µ must bind every distinguished variable of g
+// that occurs in g.S.
+func Decide(k int, g hom.GTGraph, mu rdf.Mapping, target *rdf.Graph) bool {
+	if k < 2 {
+		panic(fmt.Sprintf("pebble: k must be ≥ 2, got %d", k))
+	}
+	for _, x := range g.X {
+		if !mu.Defined(x) {
+			return false
+		}
+	}
+	inst, ok := newInstance(k, g, mu, target)
+	if !ok {
+		// Some fully-instantiated triple of S is absent from G: even
+		// the empty configuration is not a partial homomorphism.
+		return false
+	}
+	if inst.n == 0 {
+		// vars(S) \ X = ∅: by equation (1) of the paper the game
+		// coincides with plain homomorphism, which the ground check
+		// above has already verified.
+		return true
+	}
+	return inst.run()
+}
+
+// Counters reports the size of the last closure computation; useful
+// for the benchmark harness. It is returned by DecideStats.
+type Counters struct {
+	Assignments int // partial assignments enumerated
+	Deleted     int // assignments deleted by the closure
+	Win         bool
+}
+
+// DecideStats is Decide instrumented with counters.
+func DecideStats(k int, g hom.GTGraph, mu rdf.Mapping, target *rdf.Graph) Counters {
+	if k < 2 {
+		panic(fmt.Sprintf("pebble: k must be ≥ 2, got %d", k))
+	}
+	for _, x := range g.X {
+		if !mu.Defined(x) {
+			return Counters{}
+		}
+	}
+	inst, ok := newInstance(k, g, mu, target)
+	if !ok {
+		return Counters{}
+	}
+	if inst.n == 0 {
+		return Counters{Win: true}
+	}
+	win := inst.run()
+	return Counters{Assignments: inst.enumerated, Deleted: inst.deleted, Win: win}
+}
+
+// instance is one closure computation. Free variables are indexed
+// 0..n-1 and domain values 0..d-1.
+type instance struct {
+	k       int
+	n       int
+	d       int
+	varName []string             // free variable names by index
+	values  []string             // domain IRIs by index
+	target  *rdf.Graph           // G
+	cand    [][]int32            // unary-pruned candidate values per variable
+	triples []compiledTriple     // triples of S with ≥1 free variable
+	byVars  map[uint64][]int     // triple indices whose free-var mask equals key... keyed by mask
+	h       map[uint64]assignSet // D (bitmask) → surviving assignments
+
+	enumerated int
+	deleted    int
+
+	queue []deletion
+}
+
+type deletion struct {
+	mask uint64
+	key  string
+}
+
+type assignSet map[string][]int32 // packed key → value vector (aligned with sorted var indices of mask)
+
+type compiledTriple struct {
+	// terms[i] ≥ 0: index of a free variable; otherwise ^valueIndex
+	// for a constant (after µ-substitution), where valueIndex indexes
+	// instance.values, or constMissing when the constant does not
+	// occur in G at all.
+	terms [3]int32
+	mask  uint64 // bitmask of free variables occurring
+}
+
+const constMissing = int32(-1 << 30)
+
+// newInstance compiles (S, X), µ and G. ok is false when a ground
+// triple (under µ) is missing from G.
+func newInstance(k int, g hom.GTGraph, mu rdf.Mapping, target *rdf.Graph) (*instance, bool) {
+	sub := mu.ApplyAll(g.S)
+	// Index the free variables.
+	varIdx := map[string]int{}
+	var varName []string
+	for _, t := range sub {
+		for _, v := range t.Vars() {
+			if _, ok := varIdx[v.Value]; !ok {
+				varIdx[v.Value] = len(varName)
+				varName = append(varName, v.Value)
+			}
+		}
+	}
+	n := len(varName)
+	if n > 64 {
+		panic("pebble: more than 64 free variables is unsupported")
+	}
+	// Index the domain.
+	dom := target.Dom()
+	valIdx := make(map[string]int, len(dom))
+	for i, v := range dom {
+		valIdx[v] = i
+	}
+	inst := &instance{
+		k:       k,
+		n:       n,
+		d:       len(dom),
+		varName: varName,
+		values:  dom,
+		target:  target,
+		h:       map[uint64]assignSet{},
+		byVars:  map[uint64][]int{},
+	}
+	for _, t := range sub {
+		if t.Ground() {
+			if !target.Contains(t) {
+				return nil, false
+			}
+			continue
+		}
+		ct := compiledTriple{}
+		for i, term := range t.Terms() {
+			if term.IsVar() {
+				ct.terms[i] = int32(varIdx[term.Value])
+				ct.mask |= 1 << uint(varIdx[term.Value])
+			} else if vi, ok := valIdx[term.Value]; ok {
+				ct.terms[i] = ^int32(vi)
+			} else {
+				ct.terms[i] = constMissing // constant absent from G
+			}
+		}
+		inst.triples = append(inst.triples, ct)
+		idx := len(inst.triples) - 1
+		inst.byVars[ct.mask] = append(inst.byVars[ct.mask], idx)
+	}
+	inst.computeCandidates(sub)
+	return inst, true
+}
+
+// computeCandidates derives per-variable candidate lists from the
+// triples whose only free variable is that variable — exactly the
+// constraints the game enforces on singleton configurations. All other
+// variables get the full domain.
+func (in *instance) computeCandidates(sub []rdf.Triple) {
+	in.cand = make([][]int32, in.n)
+	full := make([]int32, in.d)
+	for i := range full {
+		full[i] = int32(i)
+	}
+	for v := 0; v < in.n; v++ {
+		mask := uint64(1) << uint(v)
+		allowed := map[int32]bool{}
+		first := true
+		for _, ti := range in.byVars[mask] {
+			ct := in.triples[ti]
+			cur := map[int32]bool{}
+			for a := 0; a < in.d; a++ {
+				if in.tripleHolds(ct, map[int32]int32{int32(v): int32(a)}) {
+					cur[int32(a)] = true
+				}
+			}
+			if first {
+				allowed, first = cur, false
+			} else {
+				for a := range allowed {
+					if !cur[a] {
+						delete(allowed, a)
+					}
+				}
+			}
+		}
+		if first {
+			in.cand[v] = full
+			continue
+		}
+		lst := make([]int32, 0, len(allowed))
+		for a := range allowed {
+			lst = append(lst, a)
+		}
+		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
+		in.cand[v] = lst
+	}
+}
+
+// tripleHolds checks whether the triple, with its free variables
+// assigned per the given map (which must cover them all), is in G.
+func (in *instance) tripleHolds(ct compiledTriple, assign map[int32]int32) bool {
+	var terms [3]rdf.Term
+	for i, code := range ct.terms {
+		switch {
+		case code == constMissing:
+			return false
+		case code >= 0:
+			a, ok := assign[code]
+			if !ok {
+				return true // not fully covered: unconstrained
+			}
+			terms[i] = rdf.IRI(in.values[a])
+		default:
+			terms[i] = rdf.IRI(in.values[^code])
+		}
+	}
+	return in.target.Contains(rdf.WithTerms(terms))
+}
+
+// run computes the closure and reports the winner.
+func (in *instance) run() bool {
+	in.buildSets()
+	in.initialSweep()
+	in.processQueue()
+	empty, ok := in.h[0]
+	return ok && len(empty) > 0
+}
+
+// varsOfMask returns the sorted variable indices of a mask.
+func varsOfMask(mask uint64) []int32 {
+	var out []int32
+	for v := int32(0); mask != 0; v++ {
+		if mask&1 != 0 {
+			out = append(out, v)
+		}
+		mask >>= 1
+	}
+	return out
+}
+
+func packKey(values []int32) string {
+	b := make([]byte, 0, len(values)*4)
+	for _, v := range values {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+// buildSets enumerates, for each variable subset D with |D| ≤ k, the
+// assignments D → dom(G) that satisfy every triple fully inside D.
+func (in *instance) buildSets() {
+	var subsets []uint64
+	var gen func(start int, mask uint64, size int)
+	gen = func(start int, mask uint64, size int) {
+		subsets = append(subsets, mask)
+		if size == in.k {
+			return
+		}
+		for v := start; v < in.n; v++ {
+			gen(v+1, mask|1<<uint(v), size+1)
+		}
+	}
+	gen(0, 0, 0)
+	for _, mask := range subsets {
+		in.h[mask] = in.enumerate(mask)
+	}
+}
+
+// enumerate lists the consistent assignments for the variable set D.
+func (in *instance) enumerate(mask uint64) assignSet {
+	vars := varsOfMask(mask)
+	out := assignSet{}
+	assign := map[int32]int32{}
+	vals := make([]int32, len(vars))
+	// relevant triples: those whose free vars ⊆ mask.
+	var constraints []compiledTriple
+	for m, idxs := range in.byVars {
+		if m&^mask == 0 {
+			for _, i := range idxs {
+				constraints = append(constraints, in.triples[i])
+			}
+		}
+	}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(vars) {
+			in.enumerated++
+			out[packKey(vals)] = append([]int32{}, vals...)
+			return
+		}
+		v := vars[i]
+		for _, a := range in.cand[v] {
+			assign[v] = a
+			ok := true
+			for _, ct := range constraints {
+				// Check only constraints now fully assigned that
+				// involve v (avoid rechecking).
+				if ct.mask&(1<<uint(v)) == 0 {
+					continue
+				}
+				covered := true
+				for _, vv := range varsOfMask(ct.mask) {
+					if _, has := assign[vv]; !has {
+						covered = false
+						break
+					}
+				}
+				if covered && !in.tripleHolds(ct, assign) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				vals[i] = a
+				rec(i + 1)
+			}
+			delete(assign, v)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// initialSweep applies the forth condition once to every assignment.
+func (in *instance) initialSweep() {
+	for mask, set := range in.h {
+		if popcount(mask) >= in.k {
+			continue
+		}
+		for key, vals := range set {
+			if !in.extensible(mask, vals) {
+				in.remove(mask, key)
+			}
+		}
+	}
+}
+
+// extensible reports whether the assignment can be extended to every
+// further variable.
+func (in *instance) extensible(mask uint64, vals []int32) bool {
+	vars := varsOfMask(mask)
+	for x := int32(0); x < int32(in.n); x++ {
+		if mask&(1<<uint(x)) != 0 {
+			continue
+		}
+		if !in.hasExtension(mask, vars, vals, x) {
+			return false
+		}
+	}
+	return true
+}
+
+// hasExtension reports whether some value of x extends the assignment
+// within the surviving family.
+func (in *instance) hasExtension(mask uint64, vars []int32, vals []int32, x int32) bool {
+	super := mask | 1<<uint(x)
+	set, ok := in.h[super]
+	if !ok {
+		return false
+	}
+	// Position of x within the sorted vars of super.
+	pos := 0
+	for _, v := range vars {
+		if v < x {
+			pos++
+		}
+	}
+	ext := make([]int32, len(vars)+1)
+	copy(ext, vals[:pos])
+	copy(ext[pos+1:], vals[pos:])
+	for _, a := range in.cand[x] {
+		ext[pos] = a
+		if _, alive := set[packKey(ext)]; alive {
+			return true
+		}
+	}
+	return false
+}
+
+// remove deletes an assignment and enqueues the deletion for
+// propagation.
+func (in *instance) remove(mask uint64, key string) {
+	set := in.h[mask]
+	if _, ok := set[key]; !ok {
+		return
+	}
+	delete(set, key)
+	in.deleted++
+	in.queue = append(in.queue, deletion{mask: mask, key: key})
+}
+
+// processQueue propagates deletions: upward (supersets of a deleted
+// assignment violate restriction closure) and downward (restrictions
+// may have lost their last extension witness).
+func (in *instance) processQueue() {
+	for len(in.queue) > 0 {
+		d := in.queue[len(in.queue)-1]
+		in.queue = in.queue[:len(in.queue)-1]
+		vars := varsOfMask(d.mask)
+		vals := unpackKey(d.key)
+
+		// Upward: delete every superset assignment extending this one.
+		if popcount(d.mask) < in.k {
+			for y := int32(0); y < int32(in.n); y++ {
+				if d.mask&(1<<uint(y)) != 0 {
+					continue
+				}
+				super := d.mask | 1<<uint(y)
+				pos := 0
+				for _, v := range vars {
+					if v < y {
+						pos++
+					}
+				}
+				ext := make([]int32, len(vars)+1)
+				copy(ext, vals[:pos])
+				copy(ext[pos+1:], vals[pos:])
+				for _, a := range in.cand[y] {
+					ext[pos] = a
+					in.remove(super, packKey(ext))
+				}
+			}
+		}
+
+		// Downward: every restriction dropping one variable must be
+		// rechecked for that variable.
+		for i, y := range vars {
+			subMask := d.mask &^ (1 << uint(y))
+			subVals := make([]int32, 0, len(vals)-1)
+			subVals = append(subVals, vals[:i]...)
+			subVals = append(subVals, vals[i+1:]...)
+			subKey := packKey(subVals)
+			if _, alive := in.h[subMask][subKey]; !alive {
+				continue
+			}
+			subVars := varsOfMask(subMask)
+			if !in.hasExtension(subMask, subVars, subVals, y) {
+				in.remove(subMask, subKey)
+			}
+		}
+	}
+}
+
+func unpackKey(key string) []int32 {
+	out := make([]int32, len(key)/4)
+	for i := range out {
+		out[i] = int32(key[i*4]) | int32(key[i*4+1])<<8 | int32(key[i*4+2])<<16 | int32(key[i*4+3])<<24
+	}
+	return out
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

@@ -1,0 +1,198 @@
+package pebble
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wdsparql/internal/gen"
+	"wdsparql/internal/hom"
+	"wdsparql/internal/rdf"
+)
+
+func tp(s, p, o string) rdf.Triple {
+	conv := func(x string) rdf.Term {
+		if len(x) > 0 && x[0] == '?' {
+			return rdf.Var(x)
+		}
+		return rdf.IRI(x)
+	}
+	return rdf.T(conv(s), conv(p), conv(o))
+}
+
+func TestDecideGroundOnly(t *testing.T) {
+	g := rdf.GraphOf(tp("a", "p", "b"))
+	mu := rdf.Mapping{"x": "a", "y": "b"}
+	gt := hom.NewGTGraph(hom.NewTGraph(tp("?x", "p", "?y")),
+		[]rdf.Term{rdf.Var("x"), rdf.Var("y")})
+	if !Decide(2, gt, mu, g) {
+		t.Fatal("fully instantiated triple in G: Duplicator wins trivially")
+	}
+	bad := rdf.Mapping{"x": "b", "y": "a"}
+	if Decide(2, gt, bad, g) {
+		t.Fatal("instantiated triple absent from G: even ∅ fails")
+	}
+}
+
+func TestDecidePathQueries(t *testing.T) {
+	// Path query into a path graph: exact match.
+	g := rdf.GraphOf(tp("a", "p", "b"), tp("b", "p", "c"), tp("c", "p", "d"))
+	pat := hom.NewTGraph(tp("?x", "p", "?y"), tp("?y", "p", "?z"))
+	gt := hom.NewGTGraph(pat, nil)
+	for k := 2; k <= 3; k++ {
+		if !Decide(k, gt, rdf.NewMapping(), g) {
+			t.Fatalf("k=%d: 2-path embeds into 3-path", k)
+		}
+	}
+	long := hom.NewGTGraph(hom.NewTGraph(
+		tp("?a", "p", "?b"), tp("?b", "p", "?c"), tp("?c", "p", "?d"), tp("?d", "p", "?e"),
+	), nil)
+	// Paths have ctw 1, so the 2-pebble game is exact (Prop. 3):
+	// a 4-path does not embed into a 3-path.
+	if Decide(2, long, rdf.NewMapping(), g) {
+		t.Fatal("4-path must not 2-pebble-embed into 3-path (ctw=1 ⇒ exact)")
+	}
+}
+
+// Property (2) of the paper: →µ implies →µk for every k ≥ 2 (the game
+// is a relaxation). Randomized.
+func TestRelaxationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		pat, g := randomInstance(rng)
+		gt := hom.NewGTGraph(pat, nil)
+		if hom.Exists(pat, g) {
+			for k := 2; k <= 3; k++ {
+				if !Decide(k, gt, rdf.NewMapping(), g) {
+					t.Fatalf("trial %d: hom exists but %d-pebble game lost\npat=%s\nG=%s",
+						trial, k, pat, rdf.FormatGraph(g))
+				}
+			}
+		}
+	}
+}
+
+// Proposition 3: when ctw(S, X) ≤ k − 1, →µk coincides with →µ.
+// Randomized over tree-shaped (ctw ≤ 1) and cycle-shaped (ctw ≤ 2)
+// patterns.
+func TestProposition3Agreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 80; trial++ {
+		pat := randomTreePattern(rng)
+		g := randomData(rng, 5, 12)
+		gt := hom.NewGTGraph(pat, nil)
+		want := hom.Exists(pat, g)
+		// Tree-shaped patterns have tw ≤ 1, so ctw ≤ 1 ≤ k−1 for k=2.
+		if got := Decide(2, gt, rdf.NewMapping(), g); got != want {
+			t.Fatalf("trial %d: pebble(2)=%v hom=%v\npat=%s\nG=%s",
+				trial, got, want, pat, rdf.FormatGraph(g))
+		}
+	}
+	// Cycles have tw 2: the 3-pebble game is exact on them.
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(3)
+		var ts []rdf.Triple
+		for i := 0; i < n; i++ {
+			ts = append(ts, tp(fmt.Sprintf("?c%d", i), "p", fmt.Sprintf("?c%d", (i+1)%n)))
+		}
+		pat := hom.NewTGraph(ts...)
+		g := randomData(rng, 4, 10)
+		gt := hom.NewGTGraph(pat, nil)
+		want := hom.Exists(pat, g)
+		if got := Decide(3, gt, rdf.NewMapping(), g); got != want {
+			t.Fatalf("cycle trial %d (n=%d): pebble(3)=%v hom=%v\nG=%s",
+				trial, n, got, want, rdf.FormatGraph(g))
+		}
+	}
+}
+
+// The classic separation: the k-clique query on a (k−1)-partite Turán
+// graph loses the homomorphism but can win the 2-pebble game — the
+// relaxation is strict on high-treewidth patterns.
+func TestStrictRelaxationOnCliques(t *testing.T) {
+	k := 4
+	pat := hom.NewTGraph(gen.KkTriples(k)...)
+	g := gen.Turan(12, k-1, "r")
+	gt := hom.NewGTGraph(pat, nil)
+	if hom.Exists(pat, g) {
+		t.Fatal("Turán graph T(12,3) must not contain K4")
+	}
+	if !Decide(2, gt, rdf.NewMapping(), g) {
+		t.Fatal("2-pebble game should be fooled by T(12,3) on the K4 query")
+	}
+}
+
+// Distinguished variables: the game must honour µ.
+func TestDecideHonoursMu(t *testing.T) {
+	g := rdf.GraphOf(tp("a", "p", "b"), tp("b", "q", "c"), tp("x", "q", "y"))
+	pat := hom.NewTGraph(tp("?s", "p", "?t"), tp("?t", "q", "?u"))
+	gt := hom.NewGTGraph(pat, []rdf.Term{rdf.Var("s")})
+	if !Decide(2, gt, rdf.Mapping{"s": "a"}, g) {
+		t.Fatal("µ(s)=a admits the extension t=b, u=c")
+	}
+	if Decide(2, gt, rdf.Mapping{"s": "b"}, g) {
+		t.Fatal("µ(s)=b has no p-successor")
+	}
+}
+
+// Statistics plumbing.
+func TestDecideStats(t *testing.T) {
+	g := rdf.GraphOf(tp("a", "p", "b"), tp("b", "p", "c"))
+	pat := hom.NewTGraph(tp("?x", "p", "?y"), tp("?y", "p", "?z"))
+	st := DecideStats(2, hom.NewGTGraph(pat, nil), rdf.NewMapping(), g)
+	if !st.Win {
+		t.Fatal("expected win")
+	}
+	if st.Assignments == 0 {
+		t.Fatal("expected some enumerated assignments")
+	}
+}
+
+func TestDecidePanicsOnSmallK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k < 2")
+		}
+	}()
+	Decide(1, hom.NewGTGraph(nil, nil), rdf.NewMapping(), rdf.NewGraph())
+}
+
+func randomInstance(rng *rand.Rand) (hom.TGraph, *rdf.Graph) {
+	nvars := 3 + rng.Intn(3)
+	nt := 2 + rng.Intn(4)
+	var ts []rdf.Triple
+	for i := 0; i < nt; i++ {
+		ts = append(ts, tp(
+			fmt.Sprintf("?v%d", rng.Intn(nvars)),
+			[]string{"p", "q"}[rng.Intn(2)],
+			fmt.Sprintf("?v%d", rng.Intn(nvars)),
+		))
+	}
+	return hom.NewTGraph(ts...), randomData(rng, 4, 10)
+}
+
+func randomTreePattern(rng *rand.Rand) hom.TGraph {
+	n := 2 + rng.Intn(4)
+	var ts []rdf.Triple
+	for i := 1; i <= n; i++ {
+		parent := rng.Intn(i)
+		ts = append(ts, tp(
+			fmt.Sprintf("?t%d", parent),
+			[]string{"p", "q"}[rng.Intn(2)],
+			fmt.Sprintf("?t%d", i),
+		))
+	}
+	return hom.NewTGraph(ts...)
+}
+
+func randomData(rng *rand.Rand, nodes, triples int) *rdf.Graph {
+	g := rdf.NewGraph()
+	for i := 0; i < triples; i++ {
+		g.AddTriple(
+			fmt.Sprintf("d%d", rng.Intn(nodes)),
+			[]string{"p", "q"}[rng.Intn(2)],
+			fmt.Sprintf("d%d", rng.Intn(nodes)),
+		)
+	}
+	return g
+}

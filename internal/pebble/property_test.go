@@ -1,0 +1,136 @@
+package pebble
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wdsparql/internal/hom"
+	"wdsparql/internal/rdf"
+)
+
+// Property tests of the game-theoretic laws: monotonicity in the
+// number of pebbles, the relaxation property with respect to →µ, and
+// agreement of the ablation variant.
+
+func randPattern(rng *rand.Rand, nvars, ntriples int) hom.TGraph {
+	var ts []rdf.Triple
+	vt := func() rdf.Term { return rdf.Var(fmt.Sprintf("v%d", rng.Intn(nvars))) }
+	for i := 0; i < ntriples; i++ {
+		ts = append(ts, rdf.T(vt(), rdf.IRI([]string{"p", "q"}[rng.Intn(2)]), vt()))
+	}
+	return hom.NewTGraph(ts...)
+}
+
+func randGraphData(rng *rand.Rand, nodes, triples int) *rdf.Graph {
+	g := rdf.NewGraph()
+	for i := 0; i < triples; i++ {
+		g.AddTriple(
+			fmt.Sprintf("d%d", rng.Intn(nodes)),
+			[]string{"p", "q"}[rng.Intn(2)],
+			fmt.Sprintf("d%d", rng.Intn(nodes)))
+	}
+	return g
+}
+
+// More pebbles make the Spoiler stronger: a win with k+1 pebbles
+// implies a win with k pebbles.
+func TestQuickMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 150; trial++ {
+		pat := randPattern(rng, 2+rng.Intn(4), 2+rng.Intn(4))
+		g := randGraphData(rng, 4, 8)
+		gt := hom.NewGTGraph(pat, nil)
+		win2 := Decide(2, gt, rdf.NewMapping(), g)
+		win3 := Decide(3, gt, rdf.NewMapping(), g)
+		win4 := Decide(4, gt, rdf.NewMapping(), g)
+		if win3 && !win2 {
+			t.Fatalf("trial %d: k=3 win but k=2 loss", trial)
+		}
+		if win4 && !win3 {
+			t.Fatalf("trial %d: k=4 win but k=3 loss", trial)
+		}
+	}
+}
+
+// Relaxation: hom existence implies a Duplicator win for every k; and
+// with k ≥ number of free variables the game is exact.
+func TestQuickRelaxationAndExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 150; trial++ {
+		pat := randPattern(rng, 2+rng.Intn(3), 2+rng.Intn(3))
+		g := randGraphData(rng, 3, 7)
+		gt := hom.NewGTGraph(pat, nil)
+		homAns := hom.Exists(pat, g)
+		nvars := len(pat.Vars())
+		for k := 2; k <= 4; k++ {
+			win := Decide(k, gt, rdf.NewMapping(), g)
+			if homAns && !win {
+				t.Fatalf("trial %d k=%d: hom exists but game lost", trial, k)
+			}
+			if k >= nvars && win != homAns {
+				t.Fatalf("trial %d k=%d ≥ nvars=%d: game %v, hom %v", trial, k, nvars, win, homAns)
+			}
+		}
+	}
+}
+
+// The ablation variant computes the same verdict.
+func TestQuickNoUnaryPruningAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	for trial := 0; trial < 120; trial++ {
+		pat := randPattern(rng, 2+rng.Intn(3), 2+rng.Intn(4))
+		g := randGraphData(rng, 4, 9)
+		// Add a unary constraint: a triple with one variable and
+		// constants, to exercise the pruning path.
+		pat = pat.Union(hom.NewTGraph(rdf.T(rdf.Var("v0"), rdf.IRI("p"), rdf.IRI("d0"))))
+		gt := hom.NewGTGraph(pat, nil)
+		a := Decide(2, gt, rdf.NewMapping(), g)
+		b := DecideNoUnaryPruning(2, gt, rdf.NewMapping(), g)
+		if a != b {
+			t.Fatalf("trial %d: pruned=%v unpruned=%v\npat=%s\nG=%s",
+				trial, a, b, pat, rdf.FormatGraph(g))
+		}
+	}
+}
+
+// Distinguished variables + µ: the game with all variables
+// distinguished degenerates to a ground check (equation (1)).
+func TestQuickAllDistinguished(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 100; trial++ {
+		pat := randPattern(rng, 2, 2)
+		g := randGraphData(rng, 3, 6)
+		x := pat.Vars()
+		gt := hom.NewGTGraph(pat, x)
+		mu := rdf.NewMapping()
+		dom := g.Dom()
+		if len(dom) == 0 {
+			continue
+		}
+		for _, v := range x {
+			mu[v.Value] = dom[rng.Intn(len(dom))]
+		}
+		want := true
+		for _, tr := range pat {
+			img := mu.Apply(tr)
+			if !img.Ground() || !g.Contains(img) {
+				want = false
+				break
+			}
+		}
+		if got := Decide(2, gt, mu, g); got != want {
+			t.Fatalf("trial %d: ground game %v, want %v", trial, got, want)
+		}
+	}
+}
+
+// Missing µ bindings for distinguished variables fail closed.
+func TestDecideMissingMu(t *testing.T) {
+	pat := hom.NewTGraph(rdf.T(rdf.Var("x"), rdf.IRI("p"), rdf.Var("y")))
+	gt := hom.NewGTGraph(pat, []rdf.Term{rdf.Var("x")})
+	g := rdf.GraphOf(rdf.T(rdf.IRI("a"), rdf.IRI("p"), rdf.IRI("b")))
+	if Decide(2, gt, rdf.NewMapping(), g) {
+		t.Fatal("missing distinguished binding must fail")
+	}
+}

@@ -1,0 +1,105 @@
+package ptree
+
+import (
+	"sort"
+
+	"wdsparql/internal/rdf"
+)
+
+// Static analysis of wdPTs in the spirit of Letelier et al. (the
+// paper's [17]): classification of variables into certain (bound in
+// every solution) and possible (bound in at least one solution over
+// some graph), and the subsumption order on mappings under which the
+// solutions of a wdPT are the maximal partial matches.
+
+// CertainVars returns the variables bound in every solution of ⟦T⟧G
+// for every G: exactly vars(r) of the root, since every solution
+// extends a homomorphism of pat(r) and nothing else is mandatory.
+func CertainVars(t *Tree) []rdf.Term {
+	return t.Root.Vars()
+}
+
+// PossibleVars returns the variables that can be bound in some
+// solution: all of vars(T).
+func PossibleVars(t *Tree) []rdf.Term {
+	return t.Vars()
+}
+
+// CertainVarsForest returns the variables bound in every solution of
+// ⟦F⟧G for every G with solutions: the intersection of the trees'
+// certain variables (a solution comes from some tree).
+func CertainVarsForest(f Forest) []rdf.Term {
+	if len(f) == 0 {
+		return nil
+	}
+	count := map[rdf.Term]int{}
+	for _, t := range f {
+		for _, v := range CertainVars(t) {
+			count[v]++
+		}
+	}
+	var out []rdf.Term
+	for v, c := range count {
+		if c == len(f) {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Subsumes reports µ2 ⊑ µ1: dom(µ2) ⊆ dom(µ1) and the mappings agree
+// on dom(µ2). The solutions of a UNION-free well-designed pattern are
+// pairwise ⊑-incomparable (Pérez et al.), a law the property tests
+// verify against the evaluators.
+func Subsumes(big, small rdf.Mapping) bool {
+	if len(small) > len(big) {
+		return false
+	}
+	for k, v := range small {
+		if w, ok := big[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// PairwiseIncomparable reports whether no mapping of the set strictly
+// subsumes another.
+func PairwiseIncomparable(set *rdf.MappingSet) bool {
+	ms := set.Slice()
+	for i := range ms {
+		for j := range ms {
+			if i != j && Subsumes(ms[i], ms[j]) && !ms[j].Equal(ms[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DepthOf returns the depth of the tree (root alone = 1).
+func DepthOf(t *Tree) int {
+	var rec func(n *Node) int
+	rec = func(n *Node) int {
+		best := 0
+		for _, c := range n.Children {
+			if d := rec(c); d > best {
+				best = d
+			}
+		}
+		return best + 1
+	}
+	return rec(t.Root)
+}
+
+// BranchingFactor returns the maximum number of children of any node.
+func BranchingFactor(t *Tree) int {
+	best := 0
+	for _, n := range t.Nodes() {
+		if len(n.Children) > best {
+			best = len(n.Children)
+		}
+	}
+	return best
+}

@@ -1,0 +1,81 @@
+package ptree
+
+import (
+	"testing"
+
+	"wdsparql/internal/rdf"
+	"wdsparql/internal/sparql"
+)
+
+func TestCertainAndPossibleVars(t *testing.T) {
+	tree, err := FromPattern(sparql.MustParse(
+		`(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?o1) AND (?o1, r, ?o2)))`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := CertainVars(tree)
+	if len(cv) != 2 {
+		t.Fatalf("certain: %v", cv)
+	}
+	pv := PossibleVars(tree)
+	if len(pv) != 5 {
+		t.Fatalf("possible: %v", pv)
+	}
+}
+
+func TestCertainVarsForest(t *testing.T) {
+	p := sparql.MustParse(`((?x p ?y) OPT (?y q ?z)) UNION ((?x p ?w) OPT (?w q ?v))`)
+	f := MustWDPF(p)
+	cv := CertainVarsForest(f)
+	// Branch 1 certain: {x,y}; branch 2 certain: {x,w}; intersection {x}.
+	if len(cv) != 1 || cv[0] != rdf.Var("x") {
+		t.Fatalf("forest certain vars: %v", cv)
+	}
+	if CertainVarsForest(nil) != nil {
+		t.Fatal("empty forest")
+	}
+}
+
+func TestSubsumes(t *testing.T) {
+	big := rdf.Mapping{"x": "a", "y": "b"}
+	small := rdf.Mapping{"x": "a"}
+	if !Subsumes(big, small) || Subsumes(small, big) {
+		t.Fatal("subsumption order")
+	}
+	if !Subsumes(big, big) {
+		t.Fatal("reflexive")
+	}
+	if Subsumes(big, rdf.Mapping{"x": "WRONG"}) {
+		t.Fatal("disagreement")
+	}
+}
+
+func TestPairwiseIncomparable(t *testing.T) {
+	s := rdf.NewMappingSet()
+	s.Add(rdf.Mapping{"x": "a"})
+	s.Add(rdf.Mapping{"x": "b"})
+	if !PairwiseIncomparable(s) {
+		t.Fatal("incomparable set")
+	}
+	s.Add(rdf.Mapping{"x": "a", "y": "b"})
+	if PairwiseIncomparable(s) {
+		t.Fatal("comparable pair present")
+	}
+}
+
+func TestDepthAndBranching(t *testing.T) {
+	tree := FromSpec(Spec{
+		Pattern: []rdf.Triple{tp("?x", "p", "?y")},
+		Children: []Spec{
+			{Pattern: []rdf.Triple{tp("?y", "q", "?a")},
+				Children: []Spec{{Pattern: []rdf.Triple{tp("?a", "r", "?b")}}}},
+			{Pattern: []rdf.Triple{tp("?y", "s", "?c")}},
+		},
+	})
+	if DepthOf(tree) != 3 {
+		t.Fatalf("depth %d", DepthOf(tree))
+	}
+	if BranchingFactor(tree) != 2 {
+		t.Fatalf("branching %d", BranchingFactor(tree))
+	}
+}

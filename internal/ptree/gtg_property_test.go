@@ -1,0 +1,166 @@
+package ptree_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"wdsparql/internal/gen"
+	"wdsparql/internal/hom"
+	"wdsparql/internal/ptree"
+	"wdsparql/internal/rdf"
+)
+
+// Structural invariants of the Section 3.1 combinatorics, verified on
+// random well-designed patterns:
+//
+//   - the support of a subtree of Ti always contains i itself, with the
+//     subtree as its own witness;
+//   - every S_∆ contains pat(T);
+//   - validity: the empty-domain assignment is never produced, and
+//     every valid ∆ leaves no un-dominated support index (re-checked
+//     with a direct subset test, which coincides with the → test here
+//     because pat(T^sp(i)) has no free variables relative to vars(T)).
+
+func TestQuickSupportContainsSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(157))
+	for trial := 0; trial < 60; trial++ {
+		p, ok := gen.RandomWDPattern(rng, gen.PatternOpts{Depth: 3, Union: trial%2 == 0})
+		if !ok {
+			t.Fatal("generator failed")
+		}
+		f, err := ptree.WDPF(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fs := range ptree.EnumerateForestSubtrees(f) {
+			indices, witnesses := ptree.Support(fs)
+			found := false
+			for _, i := range indices {
+				if i == fs.TreeIndex {
+					found = true
+					w := witnesses[i]
+					if w.Key() != fs.Subtree.Key() {
+						t.Fatalf("self-witness differs: %v vs %v", w, fs.Subtree)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("supp(T) missing the subtree's own tree %d", fs.TreeIndex)
+			}
+		}
+	}
+}
+
+func TestQuickSDeltaContainsPatT(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	for trial := 0; trial < 40; trial++ {
+		p, ok := gen.RandomWDPattern(rng, gen.PatternOpts{Depth: 3, Union: true})
+		if !ok {
+			t.Fatal("generator failed")
+		}
+		f, err := ptree.WDPF(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fs := range ptree.EnumerateForestSubtrees(f) {
+			base := fs.Subtree.Pattern()
+			for _, ca := range ptree.EnumerateCA(fs) {
+				sd := ptree.SDelta(fs, ca)
+				if !base.SubsetOf(sd) {
+					t.Fatalf("S_∆ misses pat(T): %s vs %s", base, sd)
+				}
+				if len(ca.Assign) == 0 {
+					t.Fatal("children assignment with empty domain")
+				}
+				// Renamed variables must be fresh: no renamed variable
+				// occurs in the forest.
+				forestVars := map[rdf.Term]bool{}
+				for _, v := range fs.Forest.Vars() {
+					forestVars[v] = true
+				}
+				keep := map[rdf.Term]bool{}
+				for _, v := range fs.Vars() {
+					keep[v] = true
+				}
+				for _, v := range sd.Vars() {
+					if forestVars[v] && !keep[v] && !inOriginalChildren(fs, ca, v) {
+						t.Fatalf("leaked variable %s in S_∆", v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// inOriginalChildren reports whether v survives legitimately: it is a
+// variable of some assigned child that also lies in vars(T) — only
+// those may persist unrenamed.
+func inOriginalChildren(fs ptree.ForestSubtree, ca ptree.ChildrenAssignment, v rdf.Term) bool {
+	keep := map[rdf.Term]bool{}
+	for _, x := range fs.Vars() {
+		keep[x] = true
+	}
+	return keep[v]
+}
+
+// Validity coincides with the direct subset test: pat(T^sp(i)) has
+// vars ⊆ vars(T) = X, so a homomorphism fixing X exists iff
+// pat(T^sp(i)) ⊆ S_∆ triple-for-triple.
+func TestQuickValidityViaSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(167))
+	for trial := 0; trial < 40; trial++ {
+		p, ok := gen.RandomWDPattern(rng, gen.PatternOpts{Depth: 2, Union: true})
+		if !ok {
+			t.Fatal("generator failed")
+		}
+		f, err := ptree.WDPF(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fs := range ptree.EnumerateForestSubtrees(f) {
+			indices, witnesses := ptree.Support(fs)
+			for _, ca := range ptree.EnumerateCA(fs) {
+				got := ptree.IsValidCA(fs, ca)
+				sd := ptree.SDelta(fs, ca)
+				want := true
+				for _, i := range indices {
+					if _, in := ca.Assign[i]; in {
+						continue
+					}
+					if witnesses[i].Pattern().SubsetOf(sd) {
+						want = false
+						break
+					}
+				}
+				if got != want {
+					t.Fatalf("validity mismatch: hom-based %v, subset-based %v", got, want)
+				}
+			}
+		}
+	}
+}
+
+// ptree.GtG elements always carry X = vars(T) and are pairwise distinct.
+func TestQuickGtGWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(173))
+	for trial := 0; trial < 30; trial++ {
+		p, ok := gen.RandomWDPattern(rng, gen.PatternOpts{Depth: 2, Union: true})
+		if !ok {
+			t.Fatal("generator failed")
+		}
+		f, err := ptree.WDPF(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fs := range ptree.EnumerateForestSubtrees(f) {
+			seen := map[string]bool{}
+			for _, g := range ptree.GtG(fs) {
+				if seen[g.S.String()] {
+					t.Fatal("duplicate ptree.GtG element")
+				}
+				seen[g.S.String()] = true
+				_ = hom.NewGTGraph(g.S, g.X) // must not panic
+			}
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package ptree implements well-designed pattern trees (wdPT) and
+// forests (wdPF) — the tree representation of well-designed SPARQL
+// graph patterns from Section 2.1 of the paper — together with the
+// Section 3.1 combinatorics built on them: subtrees, supports,
+// children assignments ∆, the renamed t-graphs S_∆, validity, and the
+// sets of generalised t-graphs GtG(T) that the notion of domination
+// width quantifies over.
+package ptree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wdsparql/internal/hom"
+	"wdsparql/internal/rdf"
+)
+
+// Node is a node of a well-designed pattern tree; λ(n) is the Pattern
+// field, a t-graph.
+type Node struct {
+	// ID is the node's index within its tree (root has ID 0; IDs are
+	// dense and stable after construction).
+	ID int
+	// Pattern is λ(n).
+	Pattern hom.TGraph
+	// Parent is nil for the root.
+	Parent *Node
+	// Children in deterministic order.
+	Children []*Node
+}
+
+// Vars returns vars(n) = vars(λ(n)).
+func (n *Node) Vars() []rdf.Term { return n.Pattern.Vars() }
+
+// Tree is a well-designed pattern tree T = (T, r, λ).
+type Tree struct {
+	Root  *Node
+	nodes []*Node // by ID
+}
+
+// Forest is a well-designed pattern forest F = {T1, ..., Tm}.
+type Forest []*Tree
+
+// Nodes returns all nodes of the tree in ID order.
+func (t *Tree) Nodes() []*Node { return t.nodes }
+
+// Node returns the node with the given ID.
+func (t *Tree) Node(id int) *Node { return t.nodes[id] }
+
+// Size returns the number of nodes.
+func (t *Tree) Size() int { return len(t.nodes) }
+
+// Pattern returns pat(T), the union of all node patterns.
+func (t *Tree) Pattern() hom.TGraph {
+	var all []rdf.Triple
+	for _, n := range t.nodes {
+		all = append(all, n.Pattern...)
+	}
+	return hom.NewTGraph(all...)
+}
+
+// Vars returns vars(T).
+func (t *Tree) Vars() []rdf.Term { return t.Pattern().Vars() }
+
+// newTree assembles a tree from a root node, assigning dense IDs in
+// BFS order.
+func newTree(root *Node) *Tree {
+	t := &Tree{Root: root}
+	queue := []*Node{root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		n.ID = len(t.nodes)
+		t.nodes = append(t.nodes, n)
+		queue = append(queue, n.Children...)
+	}
+	return t
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	var cp func(n *Node, parent *Node) *Node
+	cp = func(n *Node, parent *Node) *Node {
+		m := &Node{Pattern: hom.NewTGraph(n.Pattern...), Parent: parent}
+		for _, c := range n.Children {
+			m.Children = append(m.Children, cp(c, m))
+		}
+		return m
+	}
+	return newTree(cp(t.Root, nil))
+}
+
+// Validate checks the wdPT well-formedness conditions: condition (3)
+// of the definition (every variable's occurrence set induces a
+// connected subtree) and, when requireNR is set, the NR normal form
+// (every non-root node has vars(n) \ vars(parent) ≠ ∅).
+func (t *Tree) Validate(requireNR bool) error {
+	// Connectivity: for each variable, the nodes mentioning it form a
+	// connected subgraph of the tree. Equivalently: for every node n
+	// other than the topmost occurrence, if v occurs in n and in any
+	// proper ancestor of n, it occurs in n's parent.
+	occ := map[string][]*Node{}
+	for _, n := range t.nodes {
+		for _, v := range n.Vars() {
+			occ[v.Value] = append(occ[v.Value], n)
+		}
+	}
+	for v, nodes := range occ {
+		if !connectedInTree(nodes) {
+			return fmt.Errorf("ptree: variable ?%s does not induce a connected subtree", v)
+		}
+	}
+	if requireNR {
+		for _, n := range t.nodes {
+			if n.Parent == nil {
+				continue
+			}
+			if len(newVars(n)) == 0 {
+				return fmt.Errorf("ptree: node %d violates NR normal form (no new variables)", n.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// newVars returns vars(n) \ vars(parent(n)).
+func newVars(n *Node) []rdf.Term {
+	if n.Parent == nil {
+		return n.Vars()
+	}
+	parentVars := map[rdf.Term]bool{}
+	for _, v := range n.Parent.Vars() {
+		parentVars[v] = true
+	}
+	var out []rdf.Term
+	for _, v := range n.Vars() {
+		if !parentVars[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// connectedInTree checks that the given nodes form a connected
+// subgraph of their tree.
+func connectedInTree(nodes []*Node) bool {
+	if len(nodes) <= 1 {
+		return true
+	}
+	in := map[*Node]bool{}
+	for _, n := range nodes {
+		in[n] = true
+	}
+	// The nodes are connected iff exactly one of them has no parent in
+	// the set (the topmost) and every other node's parent is in the set.
+	tops := 0
+	for _, n := range nodes {
+		if n.Parent == nil || !in[n.Parent] {
+			tops++
+		}
+	}
+	return tops == 1
+}
+
+// String renders the tree with indentation.
+func (t *Tree) String() string {
+	var b strings.Builder
+	var rec func(n *Node, depth int)
+	rec = func(n *Node, depth int) {
+		fmt.Fprintf(&b, "%s[%d] %s\n", strings.Repeat("  ", depth), n.ID, n.Pattern)
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(t.Root, 0)
+	return b.String()
+}
+
+// Pattern returns pat(F), the union of the trees' patterns.
+func (f Forest) Pattern() hom.TGraph {
+	var all []rdf.Triple
+	for _, t := range f {
+		all = append(all, t.Pattern()...)
+	}
+	return hom.NewTGraph(all...)
+}
+
+// Vars returns vars(F).
+func (f Forest) Vars() []rdf.Term { return f.Pattern().Vars() }
+
+// String renders the forest.
+func (f Forest) String() string {
+	var b strings.Builder
+	for i, t := range f {
+		fmt.Fprintf(&b, "T%d:\n%s", i+1, t)
+	}
+	return b.String()
+}
+
+// Build constructs a tree from nested literal data, for tests and
+// generators: each spec is a node pattern plus child specs.
+type Spec struct {
+	Pattern  []rdf.Triple
+	Children []Spec
+}
+
+// FromSpec builds a tree from a Spec.
+func FromSpec(s Spec) *Tree {
+	var rec func(s Spec, parent *Node) *Node
+	rec = func(s Spec, parent *Node) *Node {
+		n := &Node{Pattern: hom.NewTGraph(s.Pattern...), Parent: parent}
+		for _, c := range s.Children {
+			n.Children = append(n.Children, rec(c, n))
+		}
+		return n
+	}
+	return newTree(rec(s, nil))
+}
+
+// SortChildren orders every node's children deterministically by their
+// pattern rendering; construction order is preserved where patterns
+// are distinct anyway, and tests rely on stable output.
+func (t *Tree) SortChildren() {
+	for _, n := range t.nodes {
+		sort.SliceStable(n.Children, func(i, j int) bool {
+			return n.Children[i].Pattern.String() < n.Children[j].Pattern.String()
+		})
+	}
+	*t = *newTree(t.Root)
+}

@@ -1,0 +1,296 @@
+package ptree
+
+import (
+	"testing"
+
+	"wdsparql/internal/hom"
+	"wdsparql/internal/rdf"
+	"wdsparql/internal/sparql"
+)
+
+func tp(s, p, o string) rdf.Triple {
+	conv := func(x string) rdf.Term {
+		if len(x) > 0 && x[0] == '?' {
+			return rdf.Var(x)
+		}
+		return rdf.IRI(x)
+	}
+	return rdf.T(conv(s), conv(p), conv(o))
+}
+
+// Example 1's P1 translates into a wdPT with root {(?x,p,?y)} and two
+// children.
+func TestFromPatternExample1(t *testing.T) {
+	p := sparql.MustParse(`(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?o1) AND (?o1, r, ?o2)))`)
+	tree, err := FromPattern(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size() != 3 {
+		t.Fatalf("want 3 nodes, got:\n%s", tree)
+	}
+	root := tree.Root
+	if !root.Pattern.Equal(hom.NewTGraph(tp("?x", "p", "?y"))) {
+		t.Fatalf("root pattern: %s", root.Pattern)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("children: %d", len(root.Children))
+	}
+}
+
+// Example 2 of the paper: wdpf(P) = {T1, T2} with T2 root (?x,p,?y)
+// and a single child {(?z,q,?x), (?w,q,?z)}.
+func TestWDPFExample2(t *testing.T) {
+	p := sparql.MustParse(`
+		(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?o1) AND (?o1, r, ?o2)))
+		UNION
+		((?x, p, ?y) OPT ((?z, q, ?x) AND (?w, q, ?z)))`)
+	f, err := WDPF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 2 {
+		t.Fatalf("want 2 trees, got %d", len(f))
+	}
+	t2 := f[1]
+	if t2.Size() != 2 {
+		t.Fatalf("T2 size: %d", t2.Size())
+	}
+	want := hom.NewTGraph(tp("?z", "q", "?x"), tp("?w", "q", "?z"))
+	if !t2.Root.Children[0].Pattern.Equal(want) {
+		t.Fatalf("T2 child: %s", t2.Root.Children[0].Pattern)
+	}
+}
+
+// NR normalisation: a leaf adding no new variables is deleted; an
+// inner node adding no new variables is merged into its children.
+func TestNRNormalization(t *testing.T) {
+	// ((?x p ?y) OPT (?x p2 ?y)): child adds no vars → deleted.
+	p := sparql.MustParse(`((?x p ?y) OPT (?x p2 ?y))`)
+	tree, err := FromPattern(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size() != 1 {
+		t.Fatalf("leaf should be deleted:\n%s", tree)
+	}
+	// ((?x p ?y) OPT ((?x p2 ?y) OPT (?y q ?z))): middle node adds no
+	// vars → merged into its child.
+	p = sparql.MustParse(`((?x p ?y) OPT ((?x p2 ?y) OPT (?y q ?z)))`)
+	tree, err = FromPattern(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size() != 2 {
+		t.Fatalf("middle node should merge:\n%s", tree)
+	}
+	child := tree.Root.Children[0]
+	want := hom.NewTGraph(tp("?x", "p2", "?y"), tp("?y", "q", "?z"))
+	if !child.Pattern.Equal(want) {
+		t.Fatalf("merged child: %s", child.Pattern)
+	}
+	if err := tree.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// NR preservation of semantics, checked against the compositional
+// evaluator on a case that triggers both rewrite rules.
+func TestNRPreservesSemantics(t *testing.T) {
+	src := `((?x p ?y) OPT ((?x p2 ?y) OPT ((?y q ?z) AND (?z q ?w))))`
+	p := sparql.MustParse(src)
+	g := rdf.MustParseGraph(`
+a p b .
+a p2 b .
+b q c .
+c q d .
+e p f .
+`)
+	tree, err := FromPattern(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := sparql.Eval(p, g)
+	// Evaluate the tree via its converted pattern (round-trip through
+	// ToPattern exercises both directions).
+	back := ToPattern(tree)
+	got := sparql.Eval(back, g)
+	if ref.Len() != got.Len() {
+		t.Fatalf("NR changed semantics: %v vs %v", ref.Slice(), got.Slice())
+	}
+	for _, mu := range ref.Slice() {
+		if !got.Contains(mu) {
+			t.Fatalf("missing %s", mu)
+		}
+	}
+}
+
+func TestFromPatternRejectsUnionAndIllFormed(t *testing.T) {
+	if _, err := FromPattern(sparql.MustParse(`(?x p ?y) UNION (?x q ?y)`)); err == nil {
+		t.Fatal("UNION must be rejected by FromPattern")
+	}
+	bad := sparql.MustParse(`(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?z) AND (?z, r, ?o2)))`)
+	if _, err := FromPattern(bad); err == nil {
+		t.Fatal("non-well-designed pattern must be rejected")
+	}
+	if _, err := WDPF(bad); err == nil {
+		t.Fatal("WDPF must reject as well")
+	}
+}
+
+func TestValidateConnectivity(t *testing.T) {
+	// ?z occurs in root and grandchild but not in the middle node:
+	// violates condition (3).
+	tr := FromSpec(Spec{
+		Pattern: []rdf.Triple{tp("?x", "p", "?z")},
+		Children: []Spec{{
+			Pattern: []rdf.Triple{tp("?x", "q", "?y")},
+			Children: []Spec{{
+				Pattern: []rdf.Triple{tp("?y", "r", "?z")},
+			}},
+		}},
+	})
+	if err := tr.Validate(false); err == nil {
+		t.Fatal("connectivity violation not detected")
+	}
+}
+
+func TestSubtreeEnumeration(t *testing.T) {
+	// Root with two children, one grandchild: subtrees are
+	// {r}, {r,a}, {r,b}, {r,a,b}, {r,a,c}, {r,a,b,c} where c under a.
+	tr := FromSpec(Spec{
+		Pattern: []rdf.Triple{tp("?x", "p", "?y")},
+		Children: []Spec{
+			{Pattern: []rdf.Triple{tp("?y", "q", "?a")},
+				Children: []Spec{{Pattern: []rdf.Triple{tp("?a", "r", "?c")}}}},
+			{Pattern: []rdf.Triple{tp("?y", "s", "?b")}},
+		},
+	})
+	subs := EnumerateSubtrees(tr)
+	if len(subs) != 6 {
+		t.Fatalf("want 6 subtrees, got %d", len(subs))
+	}
+	for _, s := range subs {
+		if !s.In[tr.Root.ID] {
+			t.Fatal("subtree missing root")
+		}
+	}
+}
+
+func TestSubtreeChildrenAndPattern(t *testing.T) {
+	tr := FromSpec(Spec{
+		Pattern: []rdf.Triple{tp("?x", "p", "?y")},
+		Children: []Spec{
+			{Pattern: []rdf.Triple{tp("?y", "q", "?a")}},
+			{Pattern: []rdf.Triple{tp("?y", "s", "?b")}},
+		},
+	})
+	root := NewSubtree(tr, tr.Root.ID)
+	if len(root.Children()) != 2 {
+		t.Fatal("root subtree has 2 children")
+	}
+	ext := root.Extend(tr.Root.Children[0])
+	if ext.Size() != 2 || len(ext.Children()) != 1 {
+		t.Fatal("extend")
+	}
+	if len(ext.Pattern()) != 2 {
+		t.Fatalf("pattern: %s", ext.Pattern())
+	}
+}
+
+func TestNewSubtreePanics(t *testing.T) {
+	tr := FromSpec(Spec{
+		Pattern:  []rdf.Triple{tp("?x", "p", "?y")},
+		Children: []Spec{{Pattern: []rdf.Triple{tp("?y", "q", "?a")}}},
+	})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("missing root must panic")
+			}
+		}()
+		NewSubtree(tr, tr.Root.Children[0].ID)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("non-downward-closed must panic")
+			}
+		}()
+		grand := &Node{}
+		_ = grand
+		// Build a deeper tree for the closure check.
+		tr2 := FromSpec(Spec{
+			Pattern: []rdf.Triple{tp("?x", "p", "?y")},
+			Children: []Spec{{Pattern: []rdf.Triple{tp("?y", "q", "?a")},
+				Children: []Spec{{Pattern: []rdf.Triple{tp("?a", "r", "?b")}}}}},
+		})
+		NewSubtree(tr2, tr2.Root.ID, 2) // grandchild without its parent
+	}()
+}
+
+func TestWitnessSubtree(t *testing.T) {
+	tr := FromSpec(Spec{
+		Pattern: []rdf.Triple{tp("?x", "p", "?y")},
+		Children: []Spec{
+			{Pattern: []rdf.Triple{tp("?y", "q", "?a")}},
+		},
+	})
+	s, ok := WitnessSubtree(tr, []rdf.Term{rdf.Var("x"), rdf.Var("y")})
+	if !ok || s.Size() != 1 {
+		t.Fatalf("witness for {x,y}: %v %v", s, ok)
+	}
+	s, ok = WitnessSubtree(tr, []rdf.Term{rdf.Var("x"), rdf.Var("y"), rdf.Var("a")})
+	if !ok || s.Size() != 2 {
+		t.Fatalf("witness for {x,y,a}: %v %v", s, ok)
+	}
+	if _, ok = WitnessSubtree(tr, []rdf.Term{rdf.Var("x")}); ok {
+		t.Fatal("no subtree has vars exactly {x}")
+	}
+	if _, ok = WitnessSubtree(tr, []rdf.Term{rdf.Var("zzz")}); ok {
+		t.Fatal("foreign variable")
+	}
+}
+
+func TestToPatternRoundTrip(t *testing.T) {
+	src := `(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?o1) AND (?o1, r, ?o2)))`
+	tree, err := FromPattern(sparql.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := ToPattern(tree)
+	tree2, err := FromPattern(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.String() != tree2.String() {
+		t.Fatalf("round trip:\n%s\nvs\n%s", tree, tree2)
+	}
+}
+
+func TestForestHelpers(t *testing.T) {
+	p := sparql.MustParse(`(?x p ?y) UNION (?x q ?y)`)
+	f := MustWDPF(p)
+	if len(f) != 2 || len(f.Vars()) != 2 || len(f.Pattern()) != 2 {
+		t.Fatalf("forest: %s", f)
+	}
+	back := ForestToPattern(f)
+	if len(sparql.UnionBranches(back)) != 2 {
+		t.Fatal("forest to pattern")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := FromSpec(Spec{
+		Pattern:  []rdf.Triple{tp("?x", "p", "?y")},
+		Children: []Spec{{Pattern: []rdf.Triple{tp("?y", "q", "?a")}}},
+	})
+	cp := tr.Clone()
+	cp.Root.Pattern = hom.NewTGraph(tp("?x", "zzz", "?y"))
+	if tr.Root.Pattern.Equal(cp.Root.Pattern) {
+		t.Fatal("clone shares pattern")
+	}
+	if cp.Size() != tr.Size() {
+		t.Fatal("clone size")
+	}
+}

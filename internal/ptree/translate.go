@@ -1,0 +1,177 @@
+package ptree
+
+import (
+	"fmt"
+
+	"wdsparql/internal/hom"
+	"wdsparql/internal/rdf"
+	"wdsparql/internal/sparql"
+)
+
+// This file implements the paper's polynomial-time computable function
+// wdpf(·): every well-designed graph pattern P = P1 UNION ... UNION Pm
+// is translated into an equivalent well-designed pattern forest
+// {T1, ..., Tm}, and every UNION-free branch into an equivalent wdPT
+// in NR normal form (Section 2.1, following Letelier et al.).
+//
+// The branch translation exploits OPT normal form implicitly: a
+// well-designed AND/OPT pattern is flattened into the t-graph of its
+// mandatory part plus one child subtree per OPT right-hand side.
+
+// FromPattern translates a UNION-free well-designed graph pattern into
+// an equivalent wdPT in NR normal form.
+func FromPattern(p sparql.Pattern) (*Tree, error) {
+	if !sparql.IsUnionFree(p) {
+		return nil, fmt.Errorf("ptree: pattern contains UNION; use WDPF")
+	}
+	if err := sparql.CheckWellDesigned(p); err != nil {
+		return nil, err
+	}
+	root := buildNode(p, nil)
+	t := newTree(root)
+	t.normalizeNR()
+	t.SortChildren()
+	if err := t.Validate(true); err != nil {
+		return nil, fmt.Errorf("ptree: internal error: translation produced invalid tree: %w", err)
+	}
+	return t, nil
+}
+
+// WDPF is the paper's wdpf(·): it translates a well-designed graph
+// pattern into an equivalent wdPF, one tree per UNION branch.
+func WDPF(p sparql.Pattern) (Forest, error) {
+	if err := sparql.CheckWellDesigned(p); err != nil {
+		return nil, err
+	}
+	var f Forest
+	for _, branch := range sparql.UnionBranches(p) {
+		t, err := FromPattern(branch)
+		if err != nil {
+			return nil, err
+		}
+		f = append(f, t)
+	}
+	return f, nil
+}
+
+// MustWDPF is WDPF that panics on error, for tests and examples.
+func MustWDPF(p sparql.Pattern) Forest {
+	f, err := WDPF(p)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// buildNode flattens the AND-structure of p into one node and turns
+// each OPT right-hand side into a child subtree: the standard
+// OPT-normal-form construction, valid for well-designed patterns.
+func buildNode(p sparql.Pattern, parent *Node) *Node {
+	n := &Node{Parent: parent}
+	var triples []rdf.Triple
+	var optChildren []sparql.Pattern
+	var collect func(q sparql.Pattern)
+	collect = func(q sparql.Pattern) {
+		switch b := q.(type) {
+		case sparql.Triple:
+			triples = append(triples, b.T)
+		case sparql.Binary:
+			switch b.Op {
+			case sparql.OpAnd:
+				collect(b.Left)
+				collect(b.Right)
+			case sparql.OpOpt:
+				collect(b.Left)
+				optChildren = append(optChildren, b.Right)
+			default:
+				panic("ptree: UNION below AND/OPT")
+			}
+		}
+	}
+	collect(p)
+	n.Pattern = hom.NewTGraph(triples...)
+	for _, c := range optChildren {
+		n.Children = append(n.Children, buildNode(c, n))
+	}
+	return n
+}
+
+// normalizeNR rewrites the tree into NR normal form. A non-root node n
+// with vars(n) ⊆ vars(parent(n)) adds no new variables; by the
+// well-designedness semantics such a node can be eliminated:
+//
+//   - if n is a leaf, ⟦P' OPT pat(n)⟧ = ⟦P'⟧ whenever vars(pat(n)) ⊆
+//     vars(P'), so n is deleted;
+//   - otherwise each child c of n is replaced by a node labelled
+//     pat(n) ∪ pat(c) attached to n's parent, preserving the optional
+//     semantics of the grandchildren.
+//
+// The rewriting preserves ⟦T⟧G (cross-validated against the
+// compositional semantics in the integration tests) and terminates
+// because every step removes one node.
+func (t *Tree) normalizeNR() {
+	for {
+		n := t.findNonNR()
+		if n == nil {
+			break
+		}
+		parent := n.Parent
+		// Remove n from parent's child list.
+		kept := parent.Children[:0]
+		for _, c := range parent.Children {
+			if c != n {
+				kept = append(kept, c)
+			}
+		}
+		parent.Children = kept
+		// Re-attach n's children, merged with n's pattern.
+		for _, c := range n.Children {
+			c.Pattern = c.Pattern.Union(n.Pattern)
+			c.Parent = parent
+			parent.Children = append(parent.Children, c)
+		}
+		*t = *newTree(t.Root)
+	}
+}
+
+func (t *Tree) findNonNR() *Node {
+	for _, n := range t.nodes {
+		if n.Parent != nil && len(newVars(n)) == 0 {
+			return n
+		}
+	}
+	return nil
+}
+
+// ToPattern converts a wdPT back into a well-designed UNION-free graph
+// pattern: the node's triples joined by AND, with one OPT per child.
+// Empty node patterns are not representable as graph patterns; the
+// translation panics on them (they cannot arise from FromPattern).
+func ToPattern(t *Tree) sparql.Pattern {
+	var rec func(n *Node) sparql.Pattern
+	rec = func(n *Node) sparql.Pattern {
+		if len(n.Pattern) == 0 {
+			panic("ptree: node with empty pattern cannot be converted")
+		}
+		parts := make([]sparql.Pattern, 0, len(n.Pattern))
+		for _, tr := range n.Pattern {
+			parts = append(parts, sparql.Triple{T: tr})
+		}
+		out := sparql.AndAll(parts...)
+		for _, c := range n.Children {
+			out = sparql.Opt(out, rec(c))
+		}
+		return out
+	}
+	return rec(t.Root)
+}
+
+// ForestToPattern converts a wdPF back into a well-designed pattern in
+// UNION normal form.
+func ForestToPattern(f Forest) sparql.Pattern {
+	parts := make([]sparql.Pattern, len(f))
+	for i, t := range f {
+		parts[i] = ToPattern(t)
+	}
+	return sparql.UnionAll(parts...)
+}

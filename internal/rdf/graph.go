@@ -1,0 +1,244 @@
+package rdf
+
+import (
+	"sort"
+)
+
+// Graph is a ground RDF graph: a finite set of RDF triples over IRIs
+// (the paper assumes no blank nodes). The graph maintains positional
+// indexes so that triple patterns with any subset of positions bound
+// can be matched without scanning the whole graph.
+//
+// The zero value is not usable; call NewGraph.
+type Graph struct {
+	set map[Triple]struct{}
+
+	// Positional indexes. Keys are IRI values.
+	byS  map[string][]Triple
+	byP  map[string][]Triple
+	byO  map[string][]Triple
+	bySP map[[2]string][]Triple
+	byPO map[[2]string][]Triple
+	bySO map[[2]string][]Triple
+
+	dom map[string]struct{} // set of IRIs appearing anywhere in G
+}
+
+// NewGraph returns an empty RDF graph.
+func NewGraph() *Graph {
+	return &Graph{
+		set:  map[Triple]struct{}{},
+		byS:  map[string][]Triple{},
+		byP:  map[string][]Triple{},
+		byO:  map[string][]Triple{},
+		bySP: map[[2]string][]Triple{},
+		byPO: map[[2]string][]Triple{},
+		bySO: map[[2]string][]Triple{},
+		dom:  map[string]struct{}{},
+	}
+}
+
+// GraphOf builds a graph from a list of ground triples. It panics if
+// any triple contains a variable; data construction errors are
+// programming errors in this module.
+func GraphOf(ts ...Triple) *Graph {
+	g := NewGraph()
+	for _, t := range ts {
+		g.Add(t)
+	}
+	return g
+}
+
+// Add inserts a ground triple into the graph. Adding a triple that
+// contains a variable panics: RDF graphs are ground by definition
+// (Section 2 of the paper).
+func (g *Graph) Add(t Triple) {
+	if !t.Ground() {
+		panic("rdf: cannot add non-ground triple " + t.String() + " to a graph")
+	}
+	if _, ok := g.set[t]; ok {
+		return
+	}
+	g.set[t] = struct{}{}
+	s, p, o := t.S.Value, t.P.Value, t.O.Value
+	g.byS[s] = append(g.byS[s], t)
+	g.byP[p] = append(g.byP[p], t)
+	g.byO[o] = append(g.byO[o], t)
+	g.bySP[[2]string{s, p}] = append(g.bySP[[2]string{s, p}], t)
+	g.byPO[[2]string{p, o}] = append(g.byPO[[2]string{p, o}], t)
+	g.bySO[[2]string{s, o}] = append(g.bySO[[2]string{s, o}], t)
+	g.dom[s] = struct{}{}
+	g.dom[p] = struct{}{}
+	g.dom[o] = struct{}{}
+}
+
+// AddTriple is a convenience for Add(T(IRI(s), IRI(p), IRI(o))).
+func (g *Graph) AddTriple(s, p, o string) {
+	g.Add(T(IRI(s), IRI(p), IRI(o)))
+}
+
+// Contains reports whether the ground triple t is in G.
+func (g *Graph) Contains(t Triple) bool {
+	_, ok := g.set[t]
+	return ok
+}
+
+// Len returns |G|, the number of triples.
+func (g *Graph) Len() int { return len(g.set) }
+
+// Dom returns dom(G), the sorted set of IRIs appearing in G.
+func (g *Graph) Dom() []string {
+	out := make([]string, 0, len(g.dom))
+	for v := range g.dom {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DomSize returns |dom(G)| without materialising the sorted slice.
+func (g *Graph) DomSize() int { return len(g.dom) }
+
+// HasIRI reports whether the IRI value occurs anywhere in G.
+func (g *Graph) HasIRI(v string) bool {
+	_, ok := g.dom[v]
+	return ok
+}
+
+// Triples returns all triples in a deterministic order.
+func (g *Graph) Triples() []Triple {
+	out := make([]Triple, 0, len(g.set))
+	for t := range g.set {
+		out = append(out, t)
+	}
+	SortTriples(out)
+	return out
+}
+
+// Match returns all triples of G matching the pattern p under the
+// partial assignment already fixed inside p itself: a position holding
+// an IRI must match exactly, a position holding a variable matches
+// anything (repeated variables are checked for equality). The result
+// order is unspecified.
+func (g *Graph) Match(p Triple) []Triple {
+	cands := g.candidates(p)
+	out := make([]Triple, 0, len(cands))
+	for _, t := range cands {
+		if matchesPattern(p, t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// MatchCount returns the number of triples matching the pattern.
+func (g *Graph) MatchCount(p Triple) int {
+	n := 0
+	for _, t := range g.candidates(p) {
+		if matchesPattern(p, t) {
+			n++
+		}
+	}
+	return n
+}
+
+// candidates selects the most selective index for the pattern.
+func (g *Graph) candidates(p Triple) []Triple {
+	sB, pB, oB := p.S.IsIRI(), p.P.IsIRI(), p.O.IsIRI()
+	switch {
+	case sB && pB && oB:
+		if g.Contains(p) {
+			return []Triple{p}
+		}
+		return nil
+	case sB && pB:
+		return g.bySP[[2]string{p.S.Value, p.P.Value}]
+	case pB && oB:
+		return g.byPO[[2]string{p.P.Value, p.O.Value}]
+	case sB && oB:
+		return g.bySO[[2]string{p.S.Value, p.O.Value}]
+	case sB:
+		return g.byS[p.S.Value]
+	case pB:
+		return g.byP[p.P.Value]
+	case oB:
+		return g.byO[p.O.Value]
+	default:
+		return g.Triples()
+	}
+}
+
+// matchesPattern reports whether ground triple t matches pattern p,
+// honouring repeated variables (e.g. (?x, r, ?x) only matches loops).
+func matchesPattern(p, t Triple) bool {
+	bind := map[string]string{}
+	pa, ta := p.Terms(), t.Terms()
+	for i := 0; i < 3; i++ {
+		switch {
+		case pa[i].IsIRI():
+			if pa[i] != ta[i] {
+				return false
+			}
+		default:
+			if prev, ok := bind[pa[i].Value]; ok {
+				if prev != ta[i].Value {
+					return false
+				}
+			} else {
+				bind[pa[i].Value] = ta[i].Value
+			}
+		}
+	}
+	return true
+}
+
+// MatchMappings returns, for a triple pattern t, the paper's base-case
+// evaluation ⟦t⟧G = {µ | dom(µ) = vars(t), µ(t) ∈ G}.
+func (g *Graph) MatchMappings(p Triple) []Mapping {
+	var out []Mapping
+	seen := map[string]bool{}
+	for _, t := range g.Match(p) {
+		m := NewMapping()
+		pa, ta := p.Terms(), t.Terms()
+		for i := 0; i < 3; i++ {
+			if pa[i].IsVar() {
+				m[pa[i].Value] = ta[i].Value
+			}
+		}
+		k := m.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := NewGraph()
+	for t := range g.set {
+		out.Add(t)
+	}
+	return out
+}
+
+// Merge adds all triples of h into g.
+func (g *Graph) Merge(h *Graph) {
+	for t := range h.set {
+		g.Add(t)
+	}
+}
+
+// Equal reports whether two graphs contain exactly the same triples.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.Len() != h.Len() {
+		return false
+	}
+	for t := range g.set {
+		if !h.Contains(t) {
+			return false
+		}
+	}
+	return true
+}

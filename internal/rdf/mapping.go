@@ -1,0 +1,247 @@
+package rdf
+
+import (
+	"sort"
+	"strings"
+)
+
+// Mapping is a partial function µ from variables to IRIs (Section 2 of
+// the paper). Keys are variable names (without the "?" sigil); values
+// are IRI identifiers.
+//
+// The nil map is a valid empty mapping for read operations; use
+// NewMapping or Bind to construct mappings that will be extended.
+type Mapping map[string]string
+
+// NewMapping returns an empty mapping.
+func NewMapping() Mapping { return Mapping{} }
+
+// Bind returns a copy of µ extended with x ↦ iri. The receiver is not
+// modified.
+func (m Mapping) Bind(x Term, iri Term) Mapping {
+	out := m.Clone()
+	out[x.Value] = iri.Value
+	return out
+}
+
+// Clone returns a copy of the mapping.
+func (m Mapping) Clone() Mapping {
+	out := make(Mapping, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Lookup returns the image of the variable x under µ, if defined.
+func (m Mapping) Lookup(x Term) (Term, bool) {
+	v, ok := m[x.Value]
+	if !ok {
+		return Term{}, false
+	}
+	return IRI(v), true
+}
+
+// Defined reports whether x ∈ dom(µ).
+func (m Mapping) Defined(x Term) bool {
+	_, ok := m[x.Value]
+	return ok
+}
+
+// Dom returns dom(µ) as a sorted slice of variable terms.
+func (m Mapping) Dom() []Term {
+	out := make([]Term, 0, len(m))
+	for k := range m {
+		out = append(out, Var(k))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Compatible reports whether µ1 and µ2 agree on dom(µ1) ∩ dom(µ2)
+// (the paper's compatibility relation µ1 ~ µ2).
+func (m Mapping) Compatible(n Mapping) bool {
+	// Iterate over the smaller mapping.
+	a, b := m, n
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for k, v := range a {
+		if w, ok := b[k]; ok && w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns µ1 ∪ µ2 for compatible mappings. The second return
+// value is false when the mappings are incompatible.
+func (m Mapping) Union(n Mapping) (Mapping, bool) {
+	if !m.Compatible(n) {
+		return nil, false
+	}
+	out := make(Mapping, len(m)+len(n))
+	for k, v := range m {
+		out[k] = v
+	}
+	for k, v := range n {
+		out[k] = v
+	}
+	return out, true
+}
+
+// Restrict returns the restriction of µ to the given set of variables.
+func (m Mapping) Restrict(vars []Term) Mapping {
+	out := NewMapping()
+	for _, x := range vars {
+		if v, ok := m[x.Value]; ok {
+			out[x.Value] = v
+		}
+	}
+	return out
+}
+
+// Equal reports whether two mappings have the same domain and agree on it.
+func (m Mapping) Equal(n Mapping) bool {
+	if len(m) != len(n) {
+		return false
+	}
+	for k, v := range m {
+		if w, ok := n[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// CoversVars reports whether vars(ts) ⊆ dom(µ) for the given triples.
+func (m Mapping) CoversVars(ts []Triple) bool {
+	for _, t := range ts {
+		for _, v := range t.Vars() {
+			if !m.Defined(v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ApplyTerm replaces a variable term by its image under µ when defined;
+// other terms are returned unchanged.
+func (m Mapping) ApplyTerm(t Term) Term {
+	if t.IsVar() {
+		if v, ok := m[t.Value]; ok {
+			return IRI(v)
+		}
+	}
+	return t
+}
+
+// Apply returns µ(t): the triple with every variable in dom(µ) replaced
+// by its image. Variables outside dom(µ) are left in place.
+func (m Mapping) Apply(t Triple) Triple {
+	return Triple{S: m.ApplyTerm(t.S), P: m.ApplyTerm(t.P), O: m.ApplyTerm(t.O)}
+}
+
+// ApplyAll maps Apply over a slice of triples.
+func (m Mapping) ApplyAll(ts []Triple) []Triple {
+	out := make([]Triple, len(ts))
+	for i, t := range ts {
+		out[i] = m.Apply(t)
+	}
+	return out
+}
+
+// Key returns a canonical string key for the mapping, usable as a map
+// key for solution deduplication.
+func (m Mapping) Key() string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(m[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// String renders the mapping as {?x↦a, ?y↦b} with sorted keys.
+func (m Mapping) String() string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte('?')
+		b.WriteString(k)
+		b.WriteString("->")
+		b.WriteString(m[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// MappingSet is a deduplicated collection of mappings, used to
+// represent evaluation results ⟦P⟧G.
+type MappingSet struct {
+	byKey map[string]Mapping
+}
+
+// NewMappingSet returns an empty set.
+func NewMappingSet() *MappingSet {
+	return &MappingSet{byKey: map[string]Mapping{}}
+}
+
+// Add inserts µ into the set; duplicates are ignored. It reports
+// whether the mapping was newly added.
+func (s *MappingSet) Add(m Mapping) bool {
+	k := m.Key()
+	if _, ok := s.byKey[k]; ok {
+		return false
+	}
+	s.byKey[k] = m
+	return true
+}
+
+// Contains reports whether µ ∈ s.
+func (s *MappingSet) Contains(m Mapping) bool {
+	_, ok := s.byKey[m.Key()]
+	return ok
+}
+
+// Len returns the number of distinct mappings in the set.
+func (s *MappingSet) Len() int { return len(s.byKey) }
+
+// Slice returns the mappings in a deterministic order.
+func (s *MappingSet) Slice() []Mapping {
+	keys := make([]string, 0, len(s.byKey))
+	for k := range s.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Mapping, len(keys))
+	for i, k := range keys {
+		out[i] = s.byKey[k]
+	}
+	return out
+}
+
+// AddAll inserts every mapping of t into s.
+func (s *MappingSet) AddAll(t *MappingSet) {
+	for k, v := range t.byKey {
+		if _, ok := s.byKey[k]; !ok {
+			s.byKey[k] = v
+		}
+	}
+}

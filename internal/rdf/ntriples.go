@@ -1,0 +1,98 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file implements a small line-oriented serialisation for ground
+// RDF graphs, a pragmatic subset of N-Triples: one triple per line,
+// three whitespace-separated terms, an optional trailing ".", "#"
+// comments, and optional angle brackets around IRIs. Variables are not
+// permitted in data files (graphs are ground).
+
+// ReadGraph parses a graph from r. It returns the first syntax error
+// encountered, annotated with a line number.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		line = strings.TrimSuffix(line, ".")
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("rdf: line %d: expected 3 terms, got %d", lineNo, len(fields))
+		}
+		var terms [3]Term
+		for i, f := range fields {
+			t, err := parseDataTerm(f)
+			if err != nil {
+				return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+			}
+			terms[i] = t
+		}
+		g.Add(WithTerms(terms))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rdf: read: %w", err)
+	}
+	return g, nil
+}
+
+// ParseGraph parses a graph from a string.
+func ParseGraph(s string) (*Graph, error) {
+	return ReadGraph(strings.NewReader(s))
+}
+
+// MustParseGraph is ParseGraph that panics on error; for tests and
+// examples with literal data.
+func MustParseGraph(s string) *Graph {
+	g, err := ParseGraph(s)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func parseDataTerm(f string) (Term, error) {
+	if strings.HasPrefix(f, "?") {
+		return Term{}, fmt.Errorf("variable %q not allowed in data", f)
+	}
+	if strings.HasPrefix(f, "<") {
+		if !strings.HasSuffix(f, ">") {
+			return Term{}, fmt.Errorf("unterminated IRI %q", f)
+		}
+		f = strings.TrimSuffix(strings.TrimPrefix(f, "<"), ">")
+	}
+	if f == "" {
+		return Term{}, fmt.Errorf("empty term")
+	}
+	return IRI(f), nil
+}
+
+// WriteGraph writes g to w, one triple per line with a trailing ".",
+// in deterministic order.
+func WriteGraph(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range g.Triples() {
+		if _, err := fmt.Fprintf(bw, "%s %s %s .\n", t.S.Value, t.P.Value, t.O.Value); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// FormatGraph renders g as a string in the WriteGraph format.
+func FormatGraph(g *Graph) string {
+	var b strings.Builder
+	_ = WriteGraph(&b, g)
+	return b.String()
+}

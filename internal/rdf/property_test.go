@@ -1,0 +1,196 @@
+package rdf
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests on the mapping algebra of Section 2: the
+// compatibility relation and union operation obey the laws the
+// evaluation semantics silently relies on.
+
+// genMapping produces small random mappings over a fixed vocabulary so
+// that collisions (shared variables) are common.
+func genMapping(rng *rand.Rand) Mapping {
+	vars := []string{"x", "y", "z", "w"}
+	vals := []string{"a", "b", "c"}
+	m := NewMapping()
+	for _, v := range vars {
+		switch rng.Intn(3) {
+		case 0:
+			m[v] = vals[rng.Intn(len(vals))]
+		}
+	}
+	return m
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{
+		MaxCount: 400,
+		Values: func(args []reflect.Value, rng *rand.Rand) {
+			for i := range args {
+				args[i] = reflect.ValueOf(genMapping(rng))
+			}
+		},
+	}
+}
+
+func TestQuickCompatibilitySymmetric(t *testing.T) {
+	prop := func(m1, m2 Mapping) bool {
+		return m1.Compatible(m2) == m2.Compatible(m1)
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionCommutative(t *testing.T) {
+	prop := func(m1, m2 Mapping) bool {
+		u1, ok1 := m1.Union(m2)
+		u2, ok2 := m2.Union(m1)
+		if ok1 != ok2 {
+			return false
+		}
+		return !ok1 || u1.Equal(u2)
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionAssociative(t *testing.T) {
+	prop := func(m1, m2, m3 Mapping) bool {
+		// ((m1 ∪ m2) ∪ m3) and (m1 ∪ (m2 ∪ m3)) agree whenever both
+		// are defined; definedness can differ only in failure order,
+		// not in outcome, for mappings (they are functions).
+		u12, ok12 := m1.Union(m2)
+		u23, ok23 := m2.Union(m3)
+		if ok12 && ok23 {
+			l, okL := u12.Union(m3)
+			r, okR := m1.Union(u23)
+			if okL != okR {
+				return false
+			}
+			if okL && !l.Equal(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUnionExtendsBoth(t *testing.T) {
+	prop := func(m1, m2 Mapping) bool {
+		u, ok := m1.Union(m2)
+		if !ok {
+			return true
+		}
+		for k, v := range m1 {
+			if u[k] != v {
+				return false
+			}
+		}
+		for k, v := range m2 {
+			if u[k] != v {
+				return false
+			}
+		}
+		return len(u) <= len(m1)+len(m2)
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKeyInjective(t *testing.T) {
+	prop := func(m1, m2 Mapping) bool {
+		return (m1.Key() == m2.Key()) == m1.Equal(m2)
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRestrictSubset(t *testing.T) {
+	prop := func(m Mapping) bool {
+		r := m.Restrict([]Term{Var("x"), Var("y")})
+		if len(r) > len(m) {
+			return false
+		}
+		for k, v := range r {
+			if m[k] != v {
+				return false
+			}
+		}
+		if !m.Compatible(r) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Graph.Match agrees with a naive full scan for every pattern shape.
+func TestQuickMatchAgreesWithScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	nodes := []string{"a", "b", "c"}
+	preds := []string{"p", "q"}
+	pickTerm := func(pool []string) Term {
+		switch rng.Intn(3) {
+		case 0:
+			return Var([]string{"x", "y"}[rng.Intn(2)])
+		default:
+			return IRI(pool[rng.Intn(len(pool))])
+		}
+	}
+	for trial := 0; trial < 300; trial++ {
+		g := NewGraph()
+		for i := 0; i < 6; i++ {
+			g.AddTriple(nodes[rng.Intn(3)], preds[rng.Intn(2)], nodes[rng.Intn(3)])
+		}
+		pat := T(pickTerm(nodes), pickTerm(preds), pickTerm(nodes))
+		got := map[Triple]bool{}
+		for _, m := range g.Match(pat) {
+			got[m] = true
+		}
+		want := map[Triple]bool{}
+		for _, tr := range g.Triples() {
+			if naiveMatch(pat, tr) {
+				want[tr] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: pattern %s: indexed %d vs scan %d", trial, pat, len(got), len(want))
+		}
+		for tr := range want {
+			if !got[tr] {
+				t.Fatalf("trial %d: missing %s", trial, tr)
+			}
+		}
+	}
+}
+
+func naiveMatch(p, t Triple) bool {
+	bind := map[string]string{}
+	pa, ta := p.Terms(), t.Terms()
+	for i := 0; i < 3; i++ {
+		if pa[i].IsIRI() {
+			if pa[i] != ta[i] {
+				return false
+			}
+			continue
+		}
+		if prev, ok := bind[pa[i].Value]; ok && prev != ta[i].Value {
+			return false
+		}
+		bind[pa[i].Value] = ta[i].Value
+	}
+	return true
+}

@@ -1,0 +1,72 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dataset statistics, used by the CLI for data inspection and by the
+// benchmark harness to describe generated workloads.
+
+// GraphStats summarises an RDF graph.
+type GraphStats struct {
+	Triples    int
+	IRIs       int
+	Predicates int
+	Subjects   int
+	Objects    int
+	MaxOutDeg  int // max triples sharing a subject
+	MaxInDeg   int // max triples sharing an object
+	PredCounts map[string]int
+	SelfLoops  int // triples with S == O
+}
+
+// Stats computes summary statistics of the graph in one pass over the
+// triples.
+func Stats(g *Graph) GraphStats {
+	st := GraphStats{PredCounts: map[string]int{}}
+	subjects := map[string]int{}
+	objects := map[string]int{}
+	for _, t := range g.Triples() {
+		st.Triples++
+		st.PredCounts[t.P.Value]++
+		subjects[t.S.Value]++
+		objects[t.O.Value]++
+		if t.S == t.O {
+			st.SelfLoops++
+		}
+	}
+	st.IRIs = g.DomSize()
+	st.Predicates = len(st.PredCounts)
+	st.Subjects = len(subjects)
+	st.Objects = len(objects)
+	for _, c := range subjects {
+		if c > st.MaxOutDeg {
+			st.MaxOutDeg = c
+		}
+	}
+	for _, c := range objects {
+		if c > st.MaxInDeg {
+			st.MaxInDeg = c
+		}
+	}
+	return st
+}
+
+// String renders the statistics as a short report.
+func (st GraphStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "triples=%d iris=%d predicates=%d subjects=%d objects=%d maxOut=%d maxIn=%d loops=%d",
+		st.Triples, st.IRIs, st.Predicates, st.Subjects, st.Objects,
+		st.MaxOutDeg, st.MaxInDeg, st.SelfLoops)
+	preds := make([]string, 0, len(st.PredCounts))
+	for p := range st.PredCounts {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+	for _, p := range preds {
+		fmt.Fprintf(&b, "\n  %s: %d", p, st.PredCounts[p])
+	}
+	return b.String()
+}

@@ -1,0 +1,45 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStats(t *testing.T) {
+	g := MustParseGraph(`
+a p b .
+a p c .
+b q a .
+c r c .
+`)
+	st := Stats(g)
+	if st.Triples != 4 {
+		t.Fatalf("triples %d", st.Triples)
+	}
+	if st.Predicates != 3 {
+		t.Fatalf("predicates %d", st.Predicates)
+	}
+	if st.PredCounts["p"] != 2 || st.PredCounts["q"] != 1 {
+		t.Fatalf("pred counts %v", st.PredCounts)
+	}
+	if st.MaxOutDeg != 2 {
+		t.Fatalf("max out %d", st.MaxOutDeg)
+	}
+	if st.SelfLoops != 1 {
+		t.Fatalf("loops %d", st.SelfLoops)
+	}
+	if st.Subjects != 3 || st.Objects != 3 {
+		t.Fatalf("subjects %d objects %d", st.Subjects, st.Objects)
+	}
+	out := st.String()
+	if !strings.Contains(out, "triples=4") || !strings.Contains(out, "p: 2") {
+		t.Fatalf("render: %s", out)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	st := Stats(NewGraph())
+	if st.Triples != 0 || st.IRIs != 0 || st.MaxOutDeg != 0 {
+		t.Fatalf("empty stats: %+v", st)
+	}
+}

@@ -1,0 +1,236 @@
+// Package sparql implements the query-language side of the paper's
+// Section 2: SPARQL graph patterns over the operators AND, OPT
+// (OPTIONAL) and UNION, a concrete syntax with a parser, the
+// well-designedness test, UNION normal form, and the direct
+// Pérez-et-al. bottom-up semantics used as a reference evaluator.
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wdsparql/internal/rdf"
+)
+
+// Op identifies a binary SPARQL operator.
+type Op uint8
+
+const (
+	// OpAnd is the conjunction operator AND.
+	OpAnd Op = iota
+	// OpOpt is the left-outer OPTIONAL operator OPT.
+	OpOpt
+	// OpUnion is the disjunction operator UNION.
+	OpUnion
+)
+
+// String returns the paper's spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case OpAnd:
+		return "AND"
+	case OpOpt:
+		return "OPT"
+	case OpUnion:
+		return "UNION"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Pattern is a SPARQL graph pattern: either a triple pattern or a
+// binary combination of two patterns (Section 2 of the paper).
+type Pattern interface {
+	fmt.Stringer
+	isPattern()
+}
+
+// Triple is a triple-pattern leaf.
+type Triple struct {
+	T rdf.Triple
+}
+
+// Binary is P1 op P2 for op ∈ {AND, OPT, UNION}.
+type Binary struct {
+	Op          Op
+	Left, Right Pattern
+}
+
+func (Triple) isPattern() {}
+func (Binary) isPattern() {}
+
+func (t Triple) String() string { return t.T.String() }
+
+func (b Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.Left, b.Op, b.Right)
+}
+
+// TP builds a triple-pattern leaf.
+func TP(s, p, o rdf.Term) Pattern { return Triple{T: rdf.T(s, p, o)} }
+
+// And builds (l AND r).
+func And(l, r Pattern) Pattern { return Binary{Op: OpAnd, Left: l, Right: r} }
+
+// Opt builds (l OPT r).
+func Opt(l, r Pattern) Pattern { return Binary{Op: OpOpt, Left: l, Right: r} }
+
+// Union builds (l UNION r).
+func Union(l, r Pattern) Pattern { return Binary{Op: OpUnion, Left: l, Right: r} }
+
+// AndAll folds a non-empty list of patterns with AND, left-associated.
+func AndAll(ps ...Pattern) Pattern {
+	if len(ps) == 0 {
+		panic("sparql: AndAll of no patterns")
+	}
+	out := ps[0]
+	for _, p := range ps[1:] {
+		out = And(out, p)
+	}
+	return out
+}
+
+// UnionAll folds a non-empty list of patterns with UNION,
+// left-associated (the UNION normal form shape).
+func UnionAll(ps ...Pattern) Pattern {
+	if len(ps) == 0 {
+		panic("sparql: UnionAll of no patterns")
+	}
+	out := ps[0]
+	for _, p := range ps[1:] {
+		out = Union(out, p)
+	}
+	return out
+}
+
+// Vars returns vars(P), the sorted set of variables occurring in P.
+func Vars(p Pattern) []rdf.Term {
+	seen := map[rdf.Term]bool{}
+	var out []rdf.Term
+	walkTriples(p, func(t rdf.Triple) {
+		for _, v := range t.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Triples returns the multiset of triple patterns occurring in P, in
+// left-to-right order.
+func Triples(p Pattern) []rdf.Triple {
+	var out []rdf.Triple
+	walkTriples(p, func(t rdf.Triple) { out = append(out, t) })
+	return out
+}
+
+func walkTriples(p Pattern, f func(rdf.Triple)) {
+	switch q := p.(type) {
+	case Triple:
+		f(q.T)
+	case Binary:
+		walkTriples(q.Left, f)
+		walkTriples(q.Right, f)
+	default:
+		panic(fmt.Sprintf("sparql: unknown pattern %T", p))
+	}
+}
+
+// IsUnionFree reports whether P uses only AND and OPT.
+func IsUnionFree(p Pattern) bool {
+	switch q := p.(type) {
+	case Triple:
+		return true
+	case Binary:
+		if q.Op == OpUnion {
+			return false
+		}
+		return IsUnionFree(q.Left) && IsUnionFree(q.Right)
+	}
+	return false
+}
+
+// UnionBranches flattens the top-level UNIONs of P, returning the
+// branches P1, ..., Pm such that P ≡ P1 UNION ... UNION Pm.
+// If P contains no top-level UNION the result is [P].
+func UnionBranches(p Pattern) []Pattern {
+	if b, ok := p.(Binary); ok && b.Op == OpUnion {
+		return append(UnionBranches(b.Left), UnionBranches(b.Right)...)
+	}
+	return []Pattern{p}
+}
+
+// Size returns the number of triple patterns in P, the paper's |P|
+// measure up to a constant factor.
+func Size(p Pattern) int {
+	n := 0
+	walkTriples(p, func(rdf.Triple) { n++ })
+	return n
+}
+
+// Clone returns a structural copy of the pattern.
+func Clone(p Pattern) Pattern {
+	switch q := p.(type) {
+	case Triple:
+		return q
+	case Binary:
+		return Binary{Op: q.Op, Left: Clone(q.Left), Right: Clone(q.Right)}
+	}
+	panic("sparql: unknown pattern type")
+}
+
+// Equal reports structural equality of two patterns.
+func Equal(p, q Pattern) bool {
+	switch a := p.(type) {
+	case Triple:
+		b, ok := q.(Triple)
+		return ok && a.T == b.T
+	case Binary:
+		b, ok := q.(Binary)
+		return ok && a.Op == b.Op && Equal(a.Left, b.Left) && Equal(a.Right, b.Right)
+	}
+	return false
+}
+
+// varSet is a small helper for variable-set computations.
+func varSet(p Pattern) map[rdf.Term]bool {
+	s := map[rdf.Term]bool{}
+	walkTriples(p, func(t rdf.Triple) {
+		for _, v := range t.Vars() {
+			s[v] = true
+		}
+	})
+	return s
+}
+
+// Format renders the pattern with indentation, for debugging and CLI
+// output.
+func Format(p Pattern) string {
+	var b strings.Builder
+	format(&b, p, 0)
+	return b.String()
+}
+
+func format(b *strings.Builder, p Pattern, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch q := p.(type) {
+	case Triple:
+		b.WriteString(indent)
+		b.WriteString(q.T.String())
+		b.WriteByte('\n')
+	case Binary:
+		b.WriteString(indent)
+		b.WriteByte('(')
+		b.WriteByte('\n')
+		format(b, q.Left, depth+1)
+		b.WriteString(indent)
+		b.WriteString(q.Op.String())
+		b.WriteByte('\n')
+		format(b, q.Right, depth+1)
+		b.WriteString(indent)
+		b.WriteByte(')')
+		b.WriteByte('\n')
+	}
+}

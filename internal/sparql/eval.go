@@ -1,0 +1,86 @@
+package sparql
+
+import (
+	"wdsparql/internal/rdf"
+)
+
+// This file implements the compositional bottom-up semantics ⟦P⟧G of
+// Pérez, Arenas and Gutierrez, exactly as restated in Section 2 of the
+// paper:
+//
+//	⟦t⟧G            = {µ | dom(µ) = vars(t), µ(t) ∈ G}
+//	⟦P1 AND P2⟧G    = {µ1 ∪ µ2 | µi ∈ ⟦Pi⟧G compatible}
+//	⟦P1 OPT P2⟧G    = ⟦P1 AND P2⟧G ∪ {µ1 ∈ ⟦P1⟧G | no compatible µ2 ∈ ⟦P2⟧G}
+//	⟦P1 UNION P2⟧G  = ⟦P1⟧G ∪ ⟦P2⟧G
+//
+// It materialises full intermediate results and is therefore
+// exponential in the worst case; it serves as the ground-truth
+// reference implementation against which the wdPT evaluators of
+// internal/core are cross-validated, and as the PSPACE-flavoured
+// baseline of the benchmark harness.
+
+// Eval computes ⟦P⟧G by the compositional semantics.
+func Eval(p Pattern, g *rdf.Graph) *rdf.MappingSet {
+	switch q := p.(type) {
+	case Triple:
+		out := rdf.NewMappingSet()
+		for _, m := range g.MatchMappings(q.T) {
+			out.Add(m)
+		}
+		return out
+	case Binary:
+		left := Eval(q.Left, g)
+		right := Eval(q.Right, g)
+		switch q.Op {
+		case OpAnd:
+			return join(left, right)
+		case OpOpt:
+			return leftOuter(left, right)
+		case OpUnion:
+			out := rdf.NewMappingSet()
+			out.AddAll(left)
+			out.AddAll(right)
+			return out
+		}
+	}
+	panic("sparql: unknown pattern type in Eval")
+}
+
+// join computes {µ1 ∪ µ2 | compatible}.
+func join(a, b *rdf.MappingSet) *rdf.MappingSet {
+	out := rdf.NewMappingSet()
+	bs := b.Slice()
+	for _, m1 := range a.Slice() {
+		for _, m2 := range bs {
+			if u, ok := m1.Union(m2); ok {
+				out.Add(u)
+			}
+		}
+	}
+	return out
+}
+
+// leftOuter computes ⟦P1 OPT P2⟧ from the two operand results.
+func leftOuter(a, b *rdf.MappingSet) *rdf.MappingSet {
+	out := rdf.NewMappingSet()
+	bs := b.Slice()
+	for _, m1 := range a.Slice() {
+		extended := false
+		for _, m2 := range bs {
+			if u, ok := m1.Union(m2); ok {
+				out.Add(u)
+				extended = true
+			}
+		}
+		if !extended {
+			out.Add(m1)
+		}
+	}
+	return out
+}
+
+// Contains reports whether µ ∈ ⟦P⟧G by the compositional semantics.
+// This is the reference decision procedure for wdEVAL.
+func Contains(p Pattern, g *rdf.Graph, mu rdf.Mapping) bool {
+	return Eval(p, g).Contains(mu)
+}

@@ -1,0 +1,108 @@
+package sparql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wdsparql/internal/rdf"
+)
+
+// EvalHashJoin must agree with the nested-loop Eval on everything.
+
+func randEvalPattern(rng *rand.Rand, depth int) Pattern {
+	if depth == 0 || rng.Intn(3) == 0 {
+		vars := []rdf.Term{rdf.Var("x"), rdf.Var("y"), rdf.Var("z"), rdf.Var("w")}
+		preds := []rdf.Term{rdf.IRI("p"), rdf.IRI("q")}
+		pick := func() rdf.Term {
+			if rng.Intn(5) == 0 {
+				return rdf.IRI([]string{"a", "b"}[rng.Intn(2)])
+			}
+			return vars[rng.Intn(len(vars))]
+		}
+		return Triple{T: rdf.T(pick(), preds[rng.Intn(2)], pick())}
+	}
+	l := randEvalPattern(rng, depth-1)
+	r := randEvalPattern(rng, depth-1)
+	switch rng.Intn(3) {
+	case 0:
+		return And(l, r)
+	case 1:
+		return Opt(l, r)
+	default:
+		return Union(l, r)
+	}
+}
+
+func TestHashJoinAgreesWithEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	nodes := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 250; trial++ {
+		p := randEvalPattern(rng, 3)
+		g := rdf.NewGraph()
+		for i := 0; i < 3+rng.Intn(10); i++ {
+			g.AddTriple(nodes[rng.Intn(4)], []string{"p", "q"}[rng.Intn(2)], nodes[rng.Intn(4)])
+		}
+		want := Eval(p, g)
+		got := EvalHashJoin(p, g)
+		if want.Len() != got.Len() {
+			t.Fatalf("trial %d: %s\nnested-loop %d vs hash %d\nG=%s\nwant=%v\ngot=%v",
+				trial, p, want.Len(), got.Len(), rdf.FormatGraph(g), want.Slice(), got.Slice())
+		}
+		for _, mu := range want.Slice() {
+			if !got.Contains(mu) {
+				t.Fatalf("trial %d: missing %s", trial, mu)
+			}
+		}
+	}
+}
+
+func TestHashJoinMixedSchemas(t *testing.T) {
+	// OPTIONAL produces mixed-schema operands; the schema-pair logic
+	// must pair {x,y} with {y,z} and {y} correctly.
+	g := rdf.MustParseGraph(`
+a p b .
+c p d .
+b q e .
+e p f .
+`)
+	p := MustParse(`(((?x p ?y) OPT (?y q ?z)) AND (?z p ?w))`)
+	want := Eval(p, g)
+	got := EvalHashJoin(p, g)
+	if want.Len() != got.Len() {
+		t.Fatalf("mixed schemas: %v vs %v", want.Slice(), got.Slice())
+	}
+}
+
+func TestHashJoinLargerJoin(t *testing.T) {
+	// A join with fan-out where nested loops would do 10k pairings.
+	g := rdf.NewGraph()
+	for i := 0; i < 100; i++ {
+		g.AddTriple("hub", "p", fmt.Sprintf("m%d", i))
+		g.AddTriple(fmt.Sprintf("m%d", i), "q", fmt.Sprintf("t%d", i))
+	}
+	p := MustParse(`((?x p ?y) AND (?y q ?z))`)
+	got := EvalHashJoin(p, g)
+	if got.Len() != 100 {
+		t.Fatalf("join size: %d", got.Len())
+	}
+}
+
+func BenchmarkEvalNestedLoopVsHash(b *testing.B) {
+	g := rdf.NewGraph()
+	for i := 0; i < 200; i++ {
+		g.AddTriple(fmt.Sprintf("s%d", i%20), "p", fmt.Sprintf("m%d", i))
+		g.AddTriple(fmt.Sprintf("m%d", i), "q", fmt.Sprintf("t%d", i%10))
+	}
+	p := MustParse(`((?x p ?y) AND (?y q ?z))`)
+	b.Run("nested-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Eval(p, g)
+		}
+	})
+	b.Run("hash-join", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			EvalHashJoin(p, g)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package sparql
+
+import (
+	"fmt"
+)
+
+// OPT normal form (the paper's Section 2.1, following Pérez et al. and
+// Letelier et al.): a UNION-free pattern is in OPT normal form when no
+// OPT occurs below an AND. Every well-designed UNION-free pattern can
+// be rewritten into OPT normal form with the two equivalences
+//
+//	(P1 OPT P2) AND P3  ≡  (P1 AND P3) OPT P2
+//	P1 AND (P2 OPT P3)  ≡  (P1 AND P2) OPT P3
+//
+// which hold for well-designed patterns (they can change results on
+// non-well-designed ones). The pattern-tree translation of
+// internal/ptree performs this flattening implicitly; the explicit
+// transformation here reproduces the paper's normal form as a
+// pattern-to-pattern rewrite and is cross-validated against the
+// compositional semantics.
+
+// IsOptNormalForm reports whether the UNION-free pattern has no OPT
+// under an AND.
+func IsOptNormalForm(p Pattern) bool {
+	switch q := p.(type) {
+	case Triple:
+		return true
+	case Binary:
+		switch q.Op {
+		case OpOpt:
+			return IsOptNormalForm(q.Left) && IsOptNormalForm(q.Right)
+		case OpAnd:
+			return andFreeOfOpt(q.Left) && andFreeOfOpt(q.Right)
+		default:
+			return false // UNION: not UNION-free
+		}
+	}
+	return false
+}
+
+func andFreeOfOpt(p Pattern) bool {
+	switch q := p.(type) {
+	case Triple:
+		return true
+	case Binary:
+		return q.Op == OpAnd && andFreeOfOpt(q.Left) && andFreeOfOpt(q.Right)
+	}
+	return false
+}
+
+// ToOptNormalForm rewrites a UNION-free well-designed pattern into an
+// equivalent pattern in OPT normal form. It returns an error on
+// patterns containing UNION or failing the well-designedness test
+// (the rewrite rules are only sound for well-designed patterns).
+func ToOptNormalForm(p Pattern) (Pattern, error) {
+	if !IsUnionFree(p) {
+		return nil, fmt.Errorf("sparql: OPT normal form requires a UNION-free pattern")
+	}
+	if err := CheckWellDesigned(p); err != nil {
+		return nil, err
+	}
+	return optNF(p), nil
+}
+
+// optNF returns an equivalent pattern of the shape B OPT Q1 OPT ... OPT Qm
+// where B is AND-only and each Qi is recursively in the same shape.
+func optNF(p Pattern) Pattern {
+	base, opts := splitMandatory(p)
+	out := base
+	for _, o := range opts {
+		out = Opt(out, optNF(o))
+	}
+	return out
+}
+
+// splitMandatory separates the mandatory AND-part of p from the
+// hoisted OPT right-hand sides, applying the two rewrite rules
+// left-to-right.
+func splitMandatory(p Pattern) (Pattern, []Pattern) {
+	switch q := p.(type) {
+	case Triple:
+		return q, nil
+	case Binary:
+		switch q.Op {
+		case OpAnd:
+			lBase, lOpts := splitMandatory(q.Left)
+			rBase, rOpts := splitMandatory(q.Right)
+			return And(lBase, rBase), append(lOpts, rOpts...)
+		case OpOpt:
+			base, opts := splitMandatory(q.Left)
+			return base, append(opts, q.Right)
+		}
+	}
+	panic("sparql: splitMandatory on UNION or unknown pattern")
+}

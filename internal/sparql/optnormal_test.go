@@ -1,0 +1,91 @@
+package sparql
+
+import (
+	"math/rand"
+	"testing"
+
+	"wdsparql/internal/rdf"
+)
+
+func TestIsOptNormalForm(t *testing.T) {
+	cases := map[string]bool{
+		`(?x p ?y)`:                                 true,
+		`((?x p ?y) AND (?y q ?z))`:                 true,
+		`((?x p ?y) OPT (?y q ?z))`:                 true,
+		`(((?x p ?y) OPT (?y q ?z)) AND (?x r ?w))`: false, // OPT under AND
+		`(((?x p ?y) AND (?x r ?w)) OPT (?y q ?z))`: true,
+		`(((?x p ?y) OPT (?y q ?z)) OPT (?x r ?w))`: true,
+		`((?x p ?y) OPT ((?y q ?z) AND (?z q ?w)))`: true,
+		`((?x p ?y) OPT ((?y q ?z) OPT (?z q ?w)))`: true,
+		`((?x p ?y) AND ((?y q ?z) OPT (?z q ?w)))`: false,
+	}
+	for src, want := range cases {
+		if got := IsOptNormalForm(MustParse(src)); got != want {
+			t.Fatalf("IsOptNormalForm(%s)=%v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestToOptNormalFormRejects(t *testing.T) {
+	if _, err := ToOptNormalForm(MustParse(`(?x p ?y) UNION (?x q ?y)`)); err == nil {
+		t.Fatal("UNION must be rejected")
+	}
+	bad := MustParse(`(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?z) AND (?z, r, ?o2)))`)
+	if _, err := ToOptNormalForm(bad); err == nil {
+		t.Fatal("non-well-designed must be rejected")
+	}
+}
+
+// The transformation yields OPT normal form and preserves the
+// compositional semantics on random well-designed patterns.
+func TestQuickOptNormalFormSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(179))
+	nodes := []string{"a", "b", "c"}
+	used := 0
+	for tries := 0; used < 120 && tries < 8000; tries++ {
+		p := randNFPattern(rng, 3)
+		if !IsWellDesigned(p) {
+			continue
+		}
+		used++
+		q, err := ToOptNormalForm(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !IsOptNormalForm(q) {
+			t.Fatalf("not in OPT normal form: %s (from %s)", q, p)
+		}
+		g := rdf.NewGraph()
+		for i := 0; i < 3+rng.Intn(8); i++ {
+			g.AddTriple(nodes[rng.Intn(3)], []string{"p", "q"}[rng.Intn(2)], nodes[rng.Intn(3)])
+		}
+		want := Eval(p, g)
+		got := Eval(q, g)
+		if want.Len() != got.Len() {
+			t.Fatalf("%s → %s changed semantics: %d vs %d\nG=%s",
+				p, q, want.Len(), got.Len(), rdf.FormatGraph(g))
+		}
+		for _, mu := range want.Slice() {
+			if !got.Contains(mu) {
+				t.Fatalf("%s → %s: missing %s", p, q, mu)
+			}
+		}
+	}
+	if used < 60 {
+		t.Fatalf("generator too weak: %d", used)
+	}
+}
+
+func randNFPattern(rng *rand.Rand, depth int) Pattern {
+	if depth == 0 || rng.Intn(3) == 0 {
+		vars := []rdf.Term{rdf.Var("x"), rdf.Var("y"), rdf.Var("z"), rdf.Var("w")}
+		pick := func() rdf.Term { return vars[rng.Intn(len(vars))] }
+		return Triple{T: rdf.T(pick(), rdf.IRI([]string{"p", "q"}[rng.Intn(2)]), pick())}
+	}
+	l := randNFPattern(rng, depth-1)
+	r := randNFPattern(rng, depth-1)
+	if rng.Intn(2) == 0 {
+		return And(l, r)
+	}
+	return Opt(l, r)
+}

@@ -1,0 +1,233 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"wdsparql/internal/rdf"
+)
+
+// This file implements a recursive-descent parser for the paper's
+// concrete pattern syntax:
+//
+//	pattern  := unit { OP unit }            (all OPs at one level equal)
+//	unit     := '(' pattern OP pattern ')'  (binary combination)
+//	          | '(' term term term ')'      (triple pattern)
+//	term     := '?'name                     (variable)
+//	          | name                        (IRI)
+//
+// Commas between the terms of a triple pattern are accepted and
+// ignored, so the paper's "(?x, p, ?y)" parses as written. Operators
+// at one nesting level must be identical; mixing AND/OPT/UNION without
+// parentheses is rejected as ambiguous.
+
+type tokenKind uint8
+
+const (
+	tokLParen tokenKind = iota
+	tokRParen
+	tokOp
+	tokTerm
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	in  string
+	pos int
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.in) {
+		c := l.in[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ',':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.in) && l.in[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '(':
+			l.pos++
+			return token{kind: tokLParen, text: "(", pos: l.pos - 1}, nil
+		case c == ')':
+			l.pos++
+			return token{kind: tokRParen, text: ")", pos: l.pos - 1}, nil
+		default:
+			start := l.pos
+			for l.pos < len(l.in) && !strings.ContainsRune(" \t\n\r,()#", rune(l.in[l.pos])) {
+				l.pos++
+			}
+			text := l.in[start:l.pos]
+			switch text {
+			case "AND", "OPT", "OPTIONAL", "UNION":
+				return token{kind: tokOp, text: text, pos: start}, nil
+			}
+			return token{kind: tokTerm, text: text, pos: start}, nil
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos}, nil
+}
+
+type parser struct {
+	lex    *lexer
+	peeked *token
+}
+
+func (p *parser) peek() (token, error) {
+	if p.peeked == nil {
+		t, err := p.lex.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.peeked = &t
+	}
+	return *p.peeked, nil
+}
+
+func (p *parser) advance() (token, error) {
+	t, err := p.peek()
+	p.peeked = nil
+	return t, err
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t, err := p.advance()
+	if err != nil {
+		return token{}, err
+	}
+	if t.kind != kind {
+		return token{}, fmt.Errorf("sparql: pos %d: expected %s, got %q", t.pos, what, t.text)
+	}
+	return t, nil
+}
+
+func opOf(text string) Op {
+	switch text {
+	case "AND":
+		return OpAnd
+	case "OPT", "OPTIONAL":
+		return OpOpt
+	default:
+		return OpUnion
+	}
+}
+
+func parseTerm(text string, pos int) (rdf.Term, error) {
+	if strings.HasPrefix(text, "?") {
+		name := strings.TrimPrefix(text, "?")
+		if name == "" {
+			return rdf.Term{}, fmt.Errorf("sparql: pos %d: empty variable name", pos)
+		}
+		return rdf.Var(name), nil
+	}
+	v := text
+	if strings.HasPrefix(v, "<") && strings.HasSuffix(v, ">") {
+		v = strings.TrimSuffix(strings.TrimPrefix(v, "<"), ">")
+	}
+	if v == "" {
+		return rdf.Term{}, fmt.Errorf("sparql: pos %d: empty IRI", pos)
+	}
+	return rdf.IRI(v), nil
+}
+
+// parseUnit parses a parenthesised triple pattern or binary expression.
+func (p *parser) parseUnit() (Pattern, error) {
+	if _, err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind == tokTerm {
+		// Triple pattern: three terms then ')'.
+		var terms [3]rdf.Term
+		for i := 0; i < 3; i++ {
+			tk, err := p.expect(tokTerm, "term")
+			if err != nil {
+				return nil, err
+			}
+			terms[i], err = parseTerm(tk.text, tk.pos)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return Triple{T: rdf.WithTerms(terms)}, nil
+	}
+	// Binary expression: pattern op pattern { op pattern } ')'.
+	inner, err := p.parseSeq(tokRParen)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return inner, nil
+}
+
+// parseSeq parses unit { OP unit } until the stop token kind is peeked.
+// All operators in one sequence must be identical.
+func (p *parser) parseSeq(stop tokenKind) (Pattern, error) {
+	left, err := p.parseUnit()
+	if err != nil {
+		return nil, err
+	}
+	var seqOp *Op
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == stop || t.kind == tokEOF {
+			return left, nil
+		}
+		opTok, err := p.expect(tokOp, "operator")
+		if err != nil {
+			return nil, err
+		}
+		op := opOf(opTok.text)
+		if seqOp == nil {
+			seqOp = &op
+		} else if *seqOp != op {
+			return nil, fmt.Errorf("sparql: pos %d: mixing %s with %s without parentheses is ambiguous", opTok.pos, seqOp, op)
+		}
+		right, err := p.parseUnit()
+		if err != nil {
+			return nil, err
+		}
+		left = Binary{Op: op, Left: left, Right: right}
+	}
+}
+
+// Parse parses a graph pattern from the concrete syntax described at
+// the top of this file.
+func Parse(input string) (Pattern, error) {
+	p := &parser{lex: &lexer{in: input}}
+	pat, err := p.parseSeq(tokEOF)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEOF, "end of input"); err != nil {
+		return nil, err
+	}
+	return pat, nil
+}
+
+// MustParse is Parse that panics on error; intended for tests and
+// examples with literal queries.
+func MustParse(input string) Pattern {
+	p, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,190 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"wdsparql/internal/rdf"
+)
+
+// Example 1 of the paper: P1 is well-designed, P2 is not (?z escapes
+// the OPT subpattern).
+const example1P1 = `(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?o1) AND (?o1, r, ?o2)))`
+const example1P2 = `(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?z) AND (?z, r, ?o2)))`
+
+func TestExample1WellDesigned(t *testing.T) {
+	p1 := MustParse(example1P1)
+	if err := CheckWellDesigned(p1); err != nil {
+		t.Fatalf("P1 should be well-designed: %v", err)
+	}
+	p2 := MustParse(example1P2)
+	err := CheckWellDesigned(p2)
+	if err == nil {
+		t.Fatal("P2 is not well-designed")
+	}
+	wd, ok := err.(*WellDesignedError)
+	if !ok || wd.Var != rdf.Var("z") {
+		t.Fatalf("violation should name ?z: %v", err)
+	}
+}
+
+func TestParserBasics(t *testing.T) {
+	p := MustParse(`(?x p ?y)`)
+	tr, ok := p.(Triple)
+	if !ok || tr.T != rdf.T(rdf.Var("x"), rdf.IRI("p"), rdf.Var("y")) {
+		t.Fatalf("parse triple: %v", p)
+	}
+	p = MustParse(`((?x p ?y) AND (?y q ?z))`)
+	b, ok := p.(Binary)
+	if !ok || b.Op != OpAnd {
+		t.Fatalf("parse AND: %v", p)
+	}
+	// Commas are accepted.
+	p2 := MustParse(`((?x, p, ?y) AND (?y, q, ?z))`)
+	if !Equal(p, p2) {
+		t.Fatal("comma-insensitive parse")
+	}
+	// OPTIONAL synonym.
+	p3 := MustParse(`((?x p ?y) OPTIONAL (?y q ?z))`)
+	if b3 := p3.(Binary); b3.Op != OpOpt {
+		t.Fatal("OPTIONAL parses as OPT")
+	}
+}
+
+func TestParserChainsAndErrors(t *testing.T) {
+	p := MustParse(`((?a p ?b) AND (?b p ?c) AND (?c p ?d))`)
+	if Size(p) != 3 {
+		t.Fatalf("chain size: %d", Size(p))
+	}
+	// Top-level UNION without parens.
+	p = MustParse(`(?x p ?y) UNION (?x q ?y)`)
+	if len(UnionBranches(p)) != 2 {
+		t.Fatal("top-level UNION")
+	}
+	for _, bad := range []string{
+		``, `(`, `(?x p)`, `(?x p ?y`, `((?x p ?y) AND (?y q ?z) OPT (?z r ?w))`,
+		`(?x p ?y) extra`, `((?x p ?y) BADOP (?y q ?z))`, `(? p ?y)`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("expected parse error for %q", bad)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		example1P1,
+		`((?x p ?y) UNION ((?x p ?y) OPT ((?z q ?x) AND (?w q ?z))))`,
+		`(a p ?y)`,
+	} {
+		p := MustParse(src)
+		back, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", p.String(), err)
+		}
+		if !Equal(p, back) {
+			t.Fatalf("roundtrip: %s vs %s", p, back)
+		}
+	}
+}
+
+func TestVarsAndTriples(t *testing.T) {
+	p := MustParse(example1P1)
+	vs := Vars(p)
+	if len(vs) != 5 {
+		t.Fatalf("vars of P1: %v", vs)
+	}
+	if len(Triples(p)) != 4 {
+		t.Fatalf("triples of P1: %v", Triples(p))
+	}
+}
+
+func TestUnionNormalFormCheck(t *testing.T) {
+	// UNION nested below AND is not well-designed (structural).
+	p := And(Union(TP(rdf.Var("x"), rdf.IRI("p"), rdf.Var("y")), TP(rdf.Var("x"), rdf.IRI("q"), rdf.Var("y"))),
+		TP(rdf.Var("x"), rdf.IRI("r"), rdf.Var("z")))
+	err := CheckWellDesigned(p)
+	if err == nil {
+		t.Fatal("expected structural violation")
+	}
+	if wd := err.(*WellDesignedError); !wd.Structural {
+		t.Fatalf("want structural error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "UNION") {
+		t.Fatalf("error text: %v", err)
+	}
+}
+
+func TestEvalTripleAndJoin(t *testing.T) {
+	g := rdf.MustParseGraph("a p b .\nb q c .\n")
+	p := MustParse(`((?x p ?y) AND (?y q ?z))`)
+	res := Eval(p, g)
+	if res.Len() != 1 {
+		t.Fatalf("join: %v", res.Slice())
+	}
+	mu := res.Slice()[0]
+	if mu["x"] != "a" || mu["y"] != "b" || mu["z"] != "c" {
+		t.Fatalf("solution: %v", mu)
+	}
+}
+
+func TestEvalOptSemantics(t *testing.T) {
+	g := rdf.MustParseGraph("a p b .\nc p d .\nb q e .\n")
+	p := MustParse(`((?x p ?y) OPT (?y q ?z))`)
+	res := Eval(p, g)
+	// (a,b) extends to z=e; (c,d) does not extend and survives bare.
+	if res.Len() != 2 {
+		t.Fatalf("opt: %v", res.Slice())
+	}
+	if !res.Contains(rdf.Mapping{"x": "a", "y": "b", "z": "e"}) {
+		t.Fatal("missing extended solution")
+	}
+	if !res.Contains(rdf.Mapping{"x": "c", "y": "d"}) {
+		t.Fatal("missing bare solution")
+	}
+	// µ1 = {x:a,y:b} alone is NOT a solution (it extends).
+	if res.Contains(rdf.Mapping{"x": "a", "y": "b"}) {
+		t.Fatal("extended mapping must absorb its base")
+	}
+}
+
+func TestEvalUnion(t *testing.T) {
+	g := rdf.MustParseGraph("a p b .\na q b .\n")
+	p := MustParse(`(?x p ?y) UNION (?x q ?y)`)
+	if res := Eval(p, g); res.Len() != 1 {
+		// Both branches produce {x:a,y:b}; dedup to one.
+		t.Fatalf("union dedup: %v", res.Slice())
+	}
+}
+
+func TestIsUnionFreeAndClone(t *testing.T) {
+	p := MustParse(example1P1)
+	if !IsUnionFree(p) {
+		t.Fatal("P1 is UNION-free")
+	}
+	u := Union(p, p)
+	if IsUnionFree(u) {
+		t.Fatal("union detected")
+	}
+	c := Clone(p)
+	if !Equal(p, c) {
+		t.Fatal("clone equal")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	p := MustParse(`((?x p ?y) OPT (?y q ?z))`)
+	out := Format(p)
+	if !strings.Contains(out, "OPT") || !strings.Contains(out, "(?x, p, ?y)") {
+		t.Fatalf("format output: %s", out)
+	}
+}
+
+func TestAndAllUnionAllPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AndAll()
+}

@@ -1,0 +1,104 @@
+package sparql
+
+import (
+	"fmt"
+)
+
+// This file implements the UNION-normal-form transformation used
+// implicitly throughout the paper (footnote 2): UNION distributes over
+// AND on both sides and over the mandatory (left) side of OPT, so
+// patterns with such nested UNIONs can be hoisted into the top-level
+// form P1 UNION ... UNION Pm. A UNION in the optional (right) side of
+// an OPT does not distribute in general; HoistUnions reports an error
+// for it rather than silently changing semantics.
+
+// HoistUnions rewrites p into UNION normal form using the rewrite rules
+//
+//	(P1 UNION P2) AND P3  ≡  (P1 AND P3) UNION (P2 AND P3)
+//	P1 AND (P2 UNION P3)  ≡  (P1 AND P2) UNION (P1 AND P3)
+//	(P1 UNION P2) OPT P3  ≡  (P1 OPT P3) UNION (P2 OPT P3)
+//
+// and returns the list of UNION-free branches. A UNION nested in the
+// right argument of an OPT is rejected.
+func HoistUnions(p Pattern) ([]Pattern, error) {
+	switch q := p.(type) {
+	case Triple:
+		return []Pattern{q}, nil
+	case Binary:
+		switch q.Op {
+		case OpUnion:
+			l, err := HoistUnions(q.Left)
+			if err != nil {
+				return nil, err
+			}
+			r, err := HoistUnions(q.Right)
+			if err != nil {
+				return nil, err
+			}
+			return append(l, r...), nil
+		case OpAnd:
+			l, err := HoistUnions(q.Left)
+			if err != nil {
+				return nil, err
+			}
+			r, err := HoistUnions(q.Right)
+			if err != nil {
+				return nil, err
+			}
+			var out []Pattern
+			for _, a := range l {
+				for _, b := range r {
+					out = append(out, And(Clone(a), Clone(b)))
+				}
+			}
+			return out, nil
+		case OpOpt:
+			l, err := HoistUnions(q.Left)
+			if err != nil {
+				return nil, err
+			}
+			if !IsUnionFree(q.Right) {
+				return nil, fmt.Errorf("sparql: UNION in the optional side of %s does not distribute", q)
+			}
+			var out []Pattern
+			for _, a := range l {
+				out = append(out, Opt(Clone(a), Clone(q.Right)))
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("sparql: unknown pattern %T", p)
+}
+
+// ToUnionNormalForm applies HoistUnions and reassembles the top-level
+// UNION pattern.
+func ToUnionNormalForm(p Pattern) (Pattern, error) {
+	branches, err := HoistUnions(p)
+	if err != nil {
+		return nil, err
+	}
+	return UnionAll(branches...), nil
+}
+
+// RenameVars applies a variable renaming to the pattern. Renaming to
+// an existing variable is allowed (it merges the variables); callers
+// wanting capture-free renaming must supply fresh names.
+func RenameVars(p Pattern, rename map[string]string) Pattern {
+	switch q := p.(type) {
+	case Triple:
+		t := q.T
+		terms := t.Terms()
+		for i, term := range terms {
+			if term.IsVar() {
+				if to, ok := rename[term.Value]; ok {
+					terms[i].Value = to
+				}
+			}
+		}
+		t.S, t.P, t.O = terms[0], terms[1], terms[2]
+		return Triple{T: t}
+	case Binary:
+		return Binary{Op: q.Op, Left: RenameVars(q.Left, rename), Right: RenameVars(q.Right, rename)}
+	}
+	panic("sparql: unknown pattern type")
+}

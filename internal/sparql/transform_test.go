@@ -1,0 +1,99 @@
+package sparql
+
+import (
+	"math/rand"
+	"testing"
+
+	"wdsparql/internal/rdf"
+)
+
+func TestHoistUnionsBasic(t *testing.T) {
+	// ((A UNION B) AND C) → 2 branches.
+	p := MustParse(`(((?x p ?y) UNION (?x q ?y)) AND (?y r ?z))`)
+	branches, err := HoistUnions(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(branches) != 2 {
+		t.Fatalf("branches: %d", len(branches))
+	}
+	for _, b := range branches {
+		if !IsUnionFree(b) {
+			t.Fatalf("branch not union-free: %s", b)
+		}
+	}
+	// Nested on both sides of AND: 2×2 = 4 branches.
+	p = MustParse(`(((?x p ?y) UNION (?x q ?y)) AND ((?y r ?z) UNION (?y s ?z)))`)
+	branches, err = HoistUnions(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(branches) != 4 {
+		t.Fatalf("branches: %d", len(branches))
+	}
+	// UNION under the left of OPT distributes.
+	p = MustParse(`(((?x p ?y) UNION (?x q ?y)) OPT (?y r ?z))`)
+	branches, err = HoistUnions(p)
+	if err != nil || len(branches) != 2 {
+		t.Fatalf("OPT-left hoist: %v %d", err, len(branches))
+	}
+	// UNION under the right of OPT is rejected.
+	p = MustParse(`((?x p ?y) OPT ((?y r ?z) UNION (?y s ?z)))`)
+	if _, err := HoistUnions(p); err == nil {
+		t.Fatal("OPT-right UNION must be rejected")
+	}
+}
+
+// Hoisting preserves the compositional semantics on random data.
+func TestHoistUnionsPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	patterns := []string{
+		`(((?x p ?y) UNION (?x q ?y)) AND (?y p ?z))`,
+		`(((?x p ?y) UNION (?x q ?y)) OPT (?y q ?z))`,
+		`((((?x p ?y) UNION (?x q ?y)) AND ((?y p ?z) UNION (?y q ?z))) UNION (?x p ?x))`,
+	}
+	for _, src := range patterns {
+		p := MustParse(src)
+		q, err := ToUnionNormalForm(p)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			g := rdf.NewGraph()
+			nodes := []string{"a", "b", "c"}
+			for i := 0; i < 3+rng.Intn(8); i++ {
+				g.AddTriple(nodes[rng.Intn(3)], []string{"p", "q"}[rng.Intn(2)], nodes[rng.Intn(3)])
+			}
+			ref := Eval(p, g)
+			got := Eval(q, g)
+			if ref.Len() != got.Len() {
+				t.Fatalf("%s: hoisting changed semantics (%d vs %d)\nG=%s",
+					src, ref.Len(), got.Len(), rdf.FormatGraph(g))
+			}
+			for _, mu := range ref.Slice() {
+				if !got.Contains(mu) {
+					t.Fatalf("%s: missing %s", src, mu)
+				}
+			}
+		}
+	}
+}
+
+func TestRenameVars(t *testing.T) {
+	p := MustParse(`((?x p ?y) OPT (?y q ?z))`)
+	q := RenameVars(p, map[string]string{"x": "a", "z": "c"})
+	vs := Vars(q)
+	want := map[string]bool{"a": true, "y": true, "c": true}
+	if len(vs) != 3 {
+		t.Fatalf("vars: %v", vs)
+	}
+	for _, v := range vs {
+		if !want[v.Value] {
+			t.Fatalf("unexpected var %s", v)
+		}
+	}
+	// Original untouched.
+	if len(Vars(p)) != 3 || Vars(p)[0].Value != "x" {
+		t.Fatal("original mutated")
+	}
+}

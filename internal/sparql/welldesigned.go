@@ -1,0 +1,104 @@
+package sparql
+
+import (
+	"fmt"
+
+	"wdsparql/internal/rdf"
+)
+
+// This file implements the well-designedness test of Section 2 of the
+// paper: a UNION-free pattern P is well-designed if for every
+// subpattern P' = (P1 OPT P2) of P, every variable occurring in P2 but
+// not in P1 does not occur outside P' in P. A general pattern is
+// well-designed if it is of the form P1 UNION ... UNION Pm with each
+// Pi UNION-free and well-designed (UNION normal form).
+
+// WellDesignedError describes a violation of the well-designedness
+// condition, pinpointing the offending OPT subpattern and variable.
+type WellDesignedError struct {
+	// Sub is the violating subpattern P' = (P1 OPT P2), or nil when
+	// the violation is structural (UNION below AND/OPT).
+	Sub Pattern
+	// Var is the variable from P2 \ P1 that also occurs outside P'.
+	Var rdf.Term
+	// Structural is set when the pattern is not in UNION normal form
+	// (a UNION occurs under an AND or OPT).
+	Structural bool
+}
+
+func (e *WellDesignedError) Error() string {
+	if e.Structural {
+		return "sparql: pattern is not in UNION normal form (UNION occurs below AND/OPT)"
+	}
+	return fmt.Sprintf("sparql: not well-designed: variable %s of the optional side of %s occurs outside it", e.Var, e.Sub)
+}
+
+// CheckWellDesigned verifies that P is a well-designed graph pattern
+// in the paper's sense. It returns nil on success and a
+// *WellDesignedError describing the first violation otherwise.
+func CheckWellDesigned(p Pattern) error {
+	for _, branch := range UnionBranches(p) {
+		if !IsUnionFree(branch) {
+			return &WellDesignedError{Structural: true}
+		}
+		if err := checkBranch(branch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IsWellDesigned reports whether P is well-designed.
+func IsWellDesigned(p Pattern) bool { return CheckWellDesigned(p) == nil }
+
+// checkBranch checks the OPT condition within a single UNION-free
+// branch. For every OPT node P' = (P1 OPT P2) we must have
+// (vars(P2) \ vars(P1)) ∩ vars(P outside P') = ∅.
+func checkBranch(branch Pattern) error {
+	// occurrences counts, for every variable, the number of triple
+	// patterns of the branch it occurs in. For each OPT node we count
+	// occurrences inside the node and compare: a variable occurs
+	// outside P' iff its total occurrence count exceeds its count
+	// within P'.
+	total := occurrenceCounts(branch)
+
+	var walk func(p Pattern) error
+	walk = func(p Pattern) error {
+		b, ok := p.(Binary)
+		if !ok {
+			return nil
+		}
+		if b.Op == OpOpt {
+			inside := occurrenceCounts(p)
+			leftVars := varSet(b.Left)
+			for v := range varSet(b.Right) {
+				if leftVars[v] {
+					continue
+				}
+				// v occurs in P2 but not in P1; it must not occur
+				// outside P'.
+				if total[v] > inside[v] {
+					return &WellDesignedError{Sub: p, Var: v}
+				}
+			}
+		}
+		if err := walk(b.Left); err != nil {
+			return err
+		}
+		return walk(b.Right)
+	}
+	return walk(branch)
+}
+
+// occurrenceCounts maps each variable to the number of triple-pattern
+// occurrences of it below p (counting one per triple pattern that
+// mentions the variable, not per position).
+func occurrenceCounts(p Pattern) map[rdf.Term]int {
+	out := map[rdf.Term]int{}
+	walkTriples(p, func(t rdf.Triple) {
+		for _, v := range t.Vars() {
+			out[v]++
+		}
+	})
+	return out
+}
