@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: check vet bench
+
+# Tier-1 verification: everything must build and every test must pass.
+check:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Headline perf trajectory: the E3 frontier benchmark (naive and pebble
+# series), recorded as go-test JSON events so the numbers are tracked
+# across PRs. Bump the artifact name (BENCH_<n>.json) per PR.
+BENCH_OUT ?= BENCH_1.json
+bench:
+	$(GO) test -bench=E3 -benchmem -run='^$$' -json > $(BENCH_OUT)
+	@grep 'ns/op' $(BENCH_OUT) | sed -E 's/.*"Output":"(.*)\\n".*/\1/; s/\\t/\t/g'

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"wdsparql/internal/bench"
 	"wdsparql/internal/core"
 	"wdsparql/internal/gen"
 	"wdsparql/internal/graphalg"
@@ -183,6 +184,61 @@ func BenchmarkE7DataScaling(b *testing.B) {
 		b.Run(fmt.Sprintf("pebble/n=%d", n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				core.EvalPebble(1, f, g, mu)
+			}
+		})
+	}
+}
+
+// BenchmarkMatchMappings measures the base-case evaluation ⟦t⟧G on a
+// medium random graph, across the pattern shapes that exercise each
+// positional index (bound predicate, fully unbound, repeated
+// variable). Tracks the dictionary-encoding speedup of the ID-native
+// storage layer.
+func BenchmarkMatchMappings(b *testing.B) {
+	g := gen.Random(256, 4096, 4, 11)
+	pats := []rdf.Triple{
+		rdf.T(rdf.Var("s"), rdf.IRI("p0"), rdf.Var("o")),
+		rdf.T(rdf.Var("s"), rdf.Var("p"), rdf.Var("o")),
+		rdf.T(rdf.Var("s"), rdf.IRI("p1"), rdf.Var("s")),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range pats {
+			benchSink = g.MatchMappings(p)
+		}
+	}
+}
+
+var benchSink []rdf.Mapping
+
+// BenchmarkEvalAll measures the batched evaluation entry point on the
+// E8 workload (one candidate mapping per p-edge, F_3 query), loop vs
+// EvalAll vs EvalAll with a worker pool.
+func BenchmarkEvalAll(b *testing.B) {
+	const k, n = 3, 24
+	f := gen.Fk(k)
+	g := bench.E8Data(k, n)
+	root := ptree.NewSubtree(f[0], f[0].Root.ID)
+	mus := hom.FindAll(root.Pattern(), g, 0)
+	if len(mus) == 0 {
+		b.Fatal("no candidate mappings")
+	}
+	for _, alg := range []core.Algorithm{core.AlgNaive, core.AlgPebble} {
+		b.Run(fmt.Sprintf("%s/loop", alg), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, mu := range mus {
+					core.Eval(alg, 1, f, g, mu)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/batch", alg), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.EvalAll(alg, 1, f, g, mus)
+			}
+		})
+		b.Run(fmt.Sprintf("%s/parallel", alg), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.EvalAllParallel(alg, 1, f, g, mus, 4)
 			}
 		})
 	}

@@ -1,4 +1,4 @@
-// Command wdbench runs the experiment suite E1–E7 that reproduces the
+// Command wdbench runs the experiment suite E1–E8 that reproduces the
 // constructions and complexity claims of "The Tractability Frontier of
 // Well-designed SPARQL Queries" (Romero, PODS 2018) and prints one
 // table per experiment. See DESIGN.md for the experiment index and
@@ -16,23 +16,25 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"wdsparql/internal/bench"
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E7, A1..A3, M1)")
+	only := flag.String("only", "", "run a single experiment (E1..E8, A1..A3, M1)")
 	full := flag.Bool("full", false, "extended sweeps (E3 up to k=7; ~1 min extra)")
 	ablations := flag.Bool("ablations", false, "also run the ablation suite A1..A3")
 	micro := flag.Bool("micro", false, "also run the micro-benchmarks M1")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker-pool size for the batched experiment E8")
 	flag.Parse()
 
 	if *only != "" && !validID(*only) {
-		fmt.Fprintf(os.Stderr, "wdbench: unknown experiment %q (want E1..E7, A1..A3 or M1)\n", *only)
+		fmt.Fprintf(os.Stderr, "wdbench: unknown experiment %q (want E1..E8, A1..A3 or M1)\n", *only)
 		os.Exit(2)
 	}
-	tables := bench.Suite(*full)
+	tables := bench.SuiteWorkers(*full, *workers)
 	if *ablations || strings.HasPrefix(strings.ToUpper(*only), "A") {
 		tables = append(tables, bench.Ablations()...)
 	}
@@ -49,7 +51,7 @@ func main() {
 
 func validID(id string) bool {
 	switch strings.ToUpper(id) {
-	case "E1", "E2", "E3", "E4", "E5", "E6", "E7", "A1", "A2", "A3", "M1":
+	case "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "A1", "A2", "A3", "M1":
 		return true
 	}
 	return false

@@ -1,0 +1,3 @@
+module wdsparql
+
+go 1.22

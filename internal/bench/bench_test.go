@@ -142,9 +142,24 @@ func TestAblationTables(t *testing.T) {
 	}
 }
 
+func TestE8Agreement(t *testing.T) {
+	tbl := E8BatchEval(2, 12, 2)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[2] == "0" {
+			t.Fatalf("E8 must evaluate a non-empty batch: %v", row)
+		}
+		if row[len(row)-1] != "true" {
+			t.Fatalf("batched and per-mapping evaluation must agree: %v", row)
+		}
+	}
+}
+
 func TestSuiteComposition(t *testing.T) {
 	tables := Suite(false)
-	if len(tables) != 7 {
+	if len(tables) != 8 {
 		t.Fatalf("suite size: %d", len(tables))
 	}
 	ids := map[string]bool{}
@@ -159,7 +174,7 @@ func TestSuiteComposition(t *testing.T) {
 			}
 		}
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"} {
 		if !ids[id] {
 			t.Fatalf("missing %s", id)
 		}

@@ -206,11 +206,73 @@ func E7DataScaling(k int, ns []int) *Table {
 	return t
 }
 
+// E8Data builds the batched-evaluation workload: a Turán graph
+// T(n, k−1) over predicate r (adversarial for the K_k refutation, as
+// in E3) plus a p-cycle over its vertices. Every p-edge yields one
+// candidate mapping {?x ↦ nᵢ, ?y ↦ nᵢ₊₁} for the F_k root pattern, so
+// the batch size scales with n, and each candidate's ?y vertex has
+// Turán r-edges to drive the clique test of node n12.
+func E8Data(k, n int) *rdf.Graph {
+	g := gen.Turan(n, k-1, "r")
+	for i := 0; i < n; i++ {
+		g.AddTriple(fmt.Sprintf("n%d", i), "p", fmt.Sprintf("n%d", (i+1)%n))
+	}
+	return g
+}
+
+// E8 measures the batched entry point core.EvalAll against the
+// per-mapping loop: all candidate mappings of the F_k root pattern are
+// evaluated against one encoded graph, with the forest compiled once
+// per mapping domain, sequentially and on a worker pool.
+func E8BatchEval(k, n, workers int) *Table {
+	t := &Table{
+		ID:    "E8",
+		Title: fmt.Sprintf("batched evaluation of all F_%d root candidates (n=%d)", k, n),
+		Claim: "EvalAll compiles the forest once per domain; worker pool scales it",
+		Header: []string{"alg", "|G|", "mappings", "loop", "EvalAll",
+			fmt.Sprintf("EvalAll(workers=%d)", workers), "accepted", "agree"},
+	}
+	f := gen.Fk(k)
+	g := E8Data(k, n)
+	root := ptree.NewSubtree(f[0], f[0].Root.ID)
+	mus := hom.FindAll(root.Pattern(), g, 0)
+	for _, alg := range []core.Algorithm{core.AlgNaive, core.AlgPebble} {
+		var loop, batch, batchPar []bool
+		dLoop := timed(func() {
+			loop = make([]bool, len(mus))
+			for i, mu := range mus {
+				loop[i] = core.Eval(alg, 1, f, g, mu)
+			}
+		})
+		dBatch := timed(func() { batch = core.EvalAll(alg, 1, f, g, mus) })
+		dPar := timed(func() { batchPar = core.EvalAllParallel(alg, 1, f, g, mus, workers) })
+		accepted, agree := 0, true
+		for i := range mus {
+			if batch[i] {
+				accepted++
+			}
+			if batch[i] != loop[i] || batchPar[i] != loop[i] {
+				agree = false
+			}
+		}
+		t.AddRow(alg.String(), fmt.Sprint(g.Len()), fmt.Sprint(len(mus)),
+			ms(dLoop), ms(dBatch), ms(dPar),
+			fmt.Sprint(accepted), fmt.Sprint(agree))
+	}
+	return t
+}
+
 // Suite runs the experiment suite. With full=false the sweeps stop
 // where every row completes in at most a few seconds; full=true
 // extends E3 into the regime where the natural algorithm needs tens of
 // seconds per instance (the point of the experiment).
 func Suite(full bool) []*Table {
+	return SuiteWorkers(full, 4)
+}
+
+// SuiteWorkers is Suite with an explicit worker count for the batched
+// experiment E8.
+func SuiteWorkers(full bool, workers int) []*Table {
 	e3Max := 6
 	if full {
 		e3Max = 7
@@ -223,5 +285,6 @@ func Suite(full bool) []*Table {
 		E5CliqueReduction([]int{2, 3}, []int{6, 10, 14}, 42),
 		E6PebbleVsHom([]int{3, 4, 5}, 15),
 		E7DataScaling(3, []int{12, 24, 48, 96, 192}),
+		E8BatchEval(3, 24, workers),
 	}
 }

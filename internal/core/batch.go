@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"wdsparql/internal/hom"
+	"wdsparql/internal/pebble"
+	"wdsparql/internal/ptree"
+	"wdsparql/internal/rdf"
+)
+
+// This file implements batched wdPF evaluation: deciding µ ∈ ⟦F⟧G for
+// many candidate mappings against one graph. Per-mapping work in
+// EvalNaive/EvalPebble redoes structural compilation that depends only
+// on dom(µ), not on µ itself: the witness subtree per tree, its
+// pattern, its variable set, and (for the pebble algorithm) the
+// generalised t-graphs pat(Tµ) ∪ pat(n) of its children. Candidate
+// mappings in a workload overwhelmingly share a domain (they come from
+// matching the same subquery), so an Evaluator compiles those once per
+// distinct domain and reuses them for every mapping, optionally across
+// a worker pool.
+
+// Evaluator is a forest compiled for repeated evaluation against one
+// graph. It is safe for concurrent use: the graph is only read, and
+// the per-domain plan cache is lock-protected.
+type Evaluator struct {
+	alg Algorithm
+	k   int
+	f   ptree.Forest
+	g   *rdf.Graph
+
+	mu    sync.Mutex
+	plans map[string][]treePlan
+}
+
+// treePlan is the domain-dependent (µ-independent) part of evaluating
+// one tree of the forest.
+type treePlan struct {
+	ok       bool       // a subtree with vars = dom(µ) exists
+	pattern  hom.TGraph // pat(Tµ)
+	vars     []rdf.Term // vars(Tµ) = dom(µ)
+	children []childPlan
+}
+
+type childPlan struct {
+	pattern hom.TGraph  // pat(n), for the naive extension test
+	gt      hom.GTGraph // (pat(Tµ) ∪ pat(n), vars(Tµ)), for the pebble test
+}
+
+// NewEvaluator compiles the forest for repeated evaluation with the
+// given algorithm; k is the domination-width bound used by AlgPebble
+// and ignored by AlgNaive. Like EvalPebble, AlgPebble requires k ≥ 1.
+func NewEvaluator(alg Algorithm, k int, f ptree.Forest, g *rdf.Graph) *Evaluator {
+	if alg == AlgPebble && k < 1 {
+		panic(fmt.Sprintf("core: NewEvaluator with AlgPebble requires k ≥ 1, got %d", k))
+	}
+	return &Evaluator{alg: alg, k: k, f: f, g: g, plans: map[string][]treePlan{}}
+}
+
+// domKey canonicalises dom(µ) to a cache key.
+func domKey(dom []rdf.Term) string {
+	var b strings.Builder
+	for _, v := range dom {
+		b.WriteString(v.Value)
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// plansFor returns (building if needed) the per-tree plans for the
+// given mapping domain.
+func (e *Evaluator) plansFor(dom []rdf.Term) []treePlan {
+	key := domKey(dom)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ps, ok := e.plans[key]; ok {
+		return ps
+	}
+	ps := make([]treePlan, len(e.f))
+	for i, t := range e.f {
+		s, ok := ptree.WitnessSubtree(t, dom)
+		if !ok {
+			continue
+		}
+		plan := treePlan{ok: true, pattern: s.Pattern(), vars: s.Vars()}
+		for _, n := range s.Children() {
+			cp := childPlan{pattern: n.Pattern}
+			if e.alg == AlgPebble {
+				cp.gt = hom.NewGTGraph(plan.pattern.Union(n.Pattern), plan.vars)
+			}
+			plan.children = append(plan.children, cp)
+		}
+		ps[i] = plan
+	}
+	e.plans[key] = ps
+	return ps
+}
+
+// Eval decides µ ∈ ⟦F⟧G, reusing the compiled plan for dom(µ).
+func (e *Evaluator) Eval(mu rdf.Mapping) bool {
+	plans := e.plansFor(mu.Dom())
+	for _, plan := range plans {
+		if !plan.ok {
+			continue
+		}
+		// µ must be a homomorphism from pat(Tµ) to G.
+		matched := true
+		for _, tr := range plan.pattern {
+			img := mu.Apply(tr)
+			if !img.Ground() || !e.g.Contains(img) {
+				matched = false
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		extendable := false
+		for _, child := range plan.children {
+			if e.extends(child, plan, mu) {
+				extendable = true
+				break
+			}
+		}
+		if !extendable {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Evaluator) extends(child childPlan, plan treePlan, mu rdf.Mapping) bool {
+	switch e.alg {
+	case AlgNaive:
+		return hom.ExistsExtending(child.pattern, mu, e.g)
+	case AlgPebble:
+		return pebble.Decide(e.k+1, child.gt, mu.Restrict(plan.vars), e.g)
+	}
+	panic("core: unknown algorithm")
+}
+
+// EvalAll evaluates every mapping sequentially.
+func (e *Evaluator) EvalAll(mus []rdf.Mapping) []bool {
+	out := make([]bool, len(mus))
+	for i, mu := range mus {
+		out[i] = e.Eval(mu)
+	}
+	return out
+}
+
+// EvalAllParallel evaluates the mappings on a pool of workers
+// (workers ≤ 1 degrades to EvalAll). Results are positionally aligned
+// with mus.
+func (e *Evaluator) EvalAllParallel(mus []rdf.Mapping, workers int) []bool {
+	if workers <= 1 || len(mus) <= 1 {
+		return e.EvalAll(mus)
+	}
+	if workers > len(mus) {
+		workers = len(mus)
+	}
+	// Warm the plan cache for every distinct domain up front so
+	// workers contend only on cache hits.
+	seen := map[string]bool{}
+	for _, mu := range mus {
+		dom := mu.Dom()
+		if key := domKey(dom); !seen[key] {
+			seen[key] = true
+			e.plansFor(dom)
+		}
+	}
+	out := make([]bool, len(mus))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = e.Eval(mus[i])
+			}
+		}()
+	}
+	for i := range mus {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// EvalAll compiles the forest and the graph once and decides
+// µ ∈ ⟦F⟧G for every µ in mus; it is the batched counterpart of Eval.
+func EvalAll(alg Algorithm, k int, f ptree.Forest, g *rdf.Graph, mus []rdf.Mapping) []bool {
+	return NewEvaluator(alg, k, f, g).EvalAll(mus)
+}
+
+// EvalAllParallel is EvalAll with a worker pool.
+func EvalAllParallel(alg Algorithm, k int, f ptree.Forest, g *rdf.Graph, mus []rdf.Mapping, workers int) []bool {
+	return NewEvaluator(alg, k, f, g).EvalAllParallel(mus, workers)
+}

@@ -1,0 +1,103 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"wdsparql/internal/core"
+	"wdsparql/internal/gen"
+	"wdsparql/internal/hom"
+	"wdsparql/internal/ptree"
+	"wdsparql/internal/rdf"
+)
+
+// candidateMus returns a batch of mappings with mixed domains: all
+// matches of the root pattern of each tree, plus some junk mappings
+// (wrong values, wrong domains) that must evaluate to false or hit
+// the no-witness path.
+func candidateMus(f ptree.Forest, g *rdf.Graph) []rdf.Mapping {
+	var mus []rdf.Mapping
+	for _, t := range f {
+		root := ptree.NewSubtree(t, t.Root.ID)
+		mus = append(mus, hom.FindAll(root.Pattern(), g, 8)...)
+	}
+	mus = append(mus,
+		rdf.Mapping{"x": "no-such-iri", "y": "b"},
+		rdf.Mapping{"completely": "unrelated"},
+		rdf.NewMapping(),
+	)
+	return mus
+}
+
+// EvalAll and EvalAllParallel agree with per-mapping Eval for both
+// algorithms on the paper's families and on random data.
+func TestEvalAllAgreesWithEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	type instance struct {
+		f ptree.Forest
+		g *rdf.Graph
+	}
+	var instances []instance
+	for k := 2; k <= 3; k++ {
+		instances = append(instances,
+			instance{gen.Fk(k), gen.FkData(k, 12, false, false)},
+			instance{gen.Fk(k), gen.FkData(k, 12, true, true)},
+			instance{ptree.Forest{gen.TkPrime(k)}, gen.TkPrimeData(10, k)},
+		)
+	}
+	instances = append(instances, instance{gen.Fk(2), gen.Random(10, 40, 3, rng.Int63())})
+	for i, in := range instances {
+		mus := candidateMus(in.f, in.g)
+		for _, alg := range []core.Algorithm{core.AlgNaive, core.AlgPebble} {
+			want := make([]bool, len(mus))
+			for j, mu := range mus {
+				want[j] = core.Eval(alg, 1, in.f, in.g, mu)
+			}
+			got := core.EvalAll(alg, 1, in.f, in.g, mus)
+			for j := range mus {
+				if got[j] != want[j] {
+					t.Fatalf("instance %d, %s: EvalAll[%d] = %v, Eval = %v (µ=%v)",
+						i, alg, j, got[j], want[j], mus[j])
+				}
+			}
+			gotPar := core.EvalAllParallel(alg, 1, in.f, in.g, mus, 4)
+			for j := range mus {
+				if gotPar[j] != want[j] {
+					t.Fatalf("instance %d, %s: EvalAllParallel[%d] = %v, Eval = %v (µ=%v)",
+						i, alg, j, gotPar[j], want[j], mus[j])
+				}
+			}
+		}
+	}
+}
+
+// A single Evaluator reused across calls (cache warm) stays correct.
+func TestEvaluatorReuse(t *testing.T) {
+	f := gen.Fk(2)
+	g := gen.FkData(2, 12, false, false)
+	mu := gen.FkMu()
+	for _, alg := range []core.Algorithm{core.AlgNaive, core.AlgPebble} {
+		e := core.NewEvaluator(alg, 1, f, g)
+		want := core.Eval(alg, 1, f, g, mu)
+		for i := 0; i < 3; i++ {
+			if got := e.Eval(mu); got != want {
+				t.Fatalf("%s: reuse iteration %d: got %v, want %v", alg, i, got, want)
+			}
+		}
+	}
+}
+
+// The batched path must preserve the headline E3 acceptance.
+func TestEvalAllE3Acceptance(t *testing.T) {
+	for k := 2; k <= 3; k++ {
+		f := gen.Fk(k)
+		g := gen.FkData(k, 12, false, false)
+		mus := []rdf.Mapping{gen.FkMu()}
+		if got := core.EvalAll(core.AlgNaive, 1, f, g, mus); !got[0] {
+			t.Fatalf("k=%d: naive EvalAll rejected µ", k)
+		}
+		if got := core.EvalAll(core.AlgPebble, 1, f, g, mus); !got[0] {
+			t.Fatalf("k=%d: pebble EvalAll rejected µ", k)
+		}
+	}
+}

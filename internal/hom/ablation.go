@@ -37,55 +37,30 @@ func ExistsStaticOrder(pats []rdf.Triple, g *rdf.Graph) bool {
 	return rec(0)
 }
 
+// bindMatch extends assign with the bindings induced by matching
+// pattern p (already µ-substituted) against ground triple t, returning
+// the names of newly bound variables for backtracking.
+func bindMatch(p, t rdf.Triple, assign rdf.Mapping) []string {
+	var newVars []string
+	pa, ta := p.Terms(), t.Terms()
+	for i := 0; i < 3; i++ {
+		if pa[i].IsVar() {
+			if _, ok := assign[pa[i].Value]; !ok {
+				assign[pa[i].Value] = ta[i].Value
+				newVars = append(newVars, pa[i].Value)
+			}
+		}
+	}
+	return newVars
+}
+
 // CountSearchNodes runs the production solver and returns the number
 // of search-tree nodes expanded before the first solution (or
 // exhaustion); used by the ablation benchmarks to report work rather
 // than only wall time.
 func CountSearchNodes(pats []rdf.Triple, g *rdf.Graph) (found bool, nodes int) {
 	st := newSearch(pats, g, 1)
-	nodes = countingRun(st)
-	return len(st.found) > 0, nodes
-}
-
-func countingRun(s *search) int {
-	nodes := 0
-	var rec func(remaining int) bool
-	rec = func(remaining int) bool {
-		nodes++
-		if remaining == 0 {
-			s.found = append(s.found, s.assign.Clone())
-			return s.limit <= 0 || len(s.found) < s.limit
-		}
-		best, bestCount := -1, -1
-		for i, p := range s.pats {
-			if s.done[i] {
-				continue
-			}
-			c := s.g.MatchCount(s.assign.Apply(p))
-			if c == 0 {
-				return true
-			}
-			if best == -1 || c < bestCount {
-				best, bestCount = i, c
-				if c == 1 {
-					break
-				}
-			}
-		}
-		p := s.assign.Apply(s.pats[best])
-		s.done[best] = true
-		defer func() { s.done[best] = false }()
-		for _, t := range s.g.Match(p) {
-			newVars := bindMatch(p, t, s.assign)
-			if !rec(remaining - 1) {
-				return false
-			}
-			for _, v := range newVars {
-				delete(s.assign, v)
-			}
-		}
-		return true
-	}
-	rec(len(s.pats))
-	return nodes
+	st.counting = true
+	st.run()
+	return len(st.found) > 0, st.nodes
 }

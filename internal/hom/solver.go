@@ -1,6 +1,8 @@
 package hom
 
 import (
+	"sort"
+
 	"wdsparql/internal/rdf"
 )
 
@@ -9,6 +11,14 @@ import (
 // remaining pattern with the fewest matches under the current partial
 // assignment is expanded (a fail-first / most-constrained-first
 // heuristic), and its matches drive the branching.
+//
+// The search is integer-native: patterns are compiled once against the
+// graph's term dictionary (variables become dense slots, IRIs become
+// TermIDs), the partial assignment is a flat []TermID indexed by slot,
+// and candidate selection runs on the graph's ID posting lists.
+// Selectivity counts are posting-list lengths, so the fail-first
+// heuristic costs one map lookup per pattern per node. Strings are
+// only touched when a found assignment is decoded into an rdf.Mapping.
 //
 // Deciding the existence of a homomorphism is NP-complete in general
 // (Chandra–Merlin); this solver is the exact (exponential worst-case)
@@ -70,84 +80,253 @@ func FindExtending(pats []rdf.Triple, mu rdf.Mapping, g *rdf.Graph) (rdf.Mapping
 	return h, true
 }
 
-type search struct {
-	g      *rdf.Graph
-	limit  int
-	pats   []rdf.Triple
-	done   []bool
-	assign rdf.Mapping
-	found  []rdf.Mapping
+// unbound marks an unassigned slot. Slot values are always IRI IDs
+// (< rdf.VarIDBase), so any variable-range ID works as the sentinel.
+const unbound = ^rdf.TermID(0)
+
+// cpat is a compiled triple pattern: code[i] ≥ 0 is a variable slot,
+// code[i] < 0 encodes the IRI TermID ^code[i] (IRI IDs are dense below
+// 2³¹ and fit an int32 after complement).
+type cpat struct {
+	code [3]int32
 }
 
+type search struct {
+	g        *rdf.Graph
+	limit    int
+	pats     []cpat
+	done     []bool
+	varNames []string      // slot → variable name
+	assign   []rdf.TermID  // slot → bound IRI ID, or unbound
+	bufs     [][]scoredCand // per-depth candidate buffers, reused across nodes
+	found    []rdf.Mapping
+	absent   bool // some pattern constant is not in g: no matches
+	counting bool
+	nodes    int
+}
+
+// scoredCand is a matching candidate triple together with its
+// value-ordering score.
+type scoredCand struct {
+	t     rdf.IDTriple
+	score int64
+}
+
+// reuseBonus dominates any realistic occurrence count, so candidates
+// that reuse values already in the homomorphism image always sort
+// before candidates that merely bind well-connected fresh values.
+const reuseBonus = int64(1) << 32
+
 func newSearch(pats []rdf.Triple, g *rdf.Graph, limit int) *search {
-	return &search{
-		g:      g,
-		limit:  limit,
-		pats:   append([]rdf.Triple{}, pats...),
-		done:   make([]bool, len(pats)),
-		assign: rdf.NewMapping(),
+	s := &search{
+		g:     g,
+		limit: limit,
+		pats:  make([]cpat, len(pats)),
+		done:  make([]bool, len(pats)),
 	}
+	slots := map[string]int32{}
+	dict := g.Dict()
+	for pi, p := range pats {
+		for i, term := range p.Terms() {
+			if term.IsVar() {
+				slot, ok := slots[term.Value]
+				if !ok {
+					slot = int32(len(s.varNames))
+					slots[term.Value] = slot
+					s.varNames = append(s.varNames, term.Value)
+				}
+				s.pats[pi].code[i] = slot
+				continue
+			}
+			id, ok := dict.LookupIRI(term.Value)
+			if !ok {
+				s.absent = true
+			}
+			s.pats[pi].code[i] = ^int32(id)
+		}
+	}
+	s.assign = make([]rdf.TermID, len(s.varNames))
+	for i := range s.assign {
+		s.assign[i] = unbound
+	}
+	s.bufs = make([][]scoredCand, len(pats))
+	return s
+}
+
+// substitute renders pattern i under the current assignment as an
+// encoded pattern: bound slots and constants become IRI IDs, unbound
+// slots become per-slot variable IDs (so repeated variables stay
+// linked).
+func (s *search) substitute(i int) rdf.IDTriple {
+	var out rdf.IDTriple
+	cp := &s.pats[i]
+	for pos := 0; pos < 3; pos++ {
+		c := cp.code[pos]
+		if c < 0 {
+			out[pos] = rdf.TermID(^c)
+			continue
+		}
+		if v := s.assign[c]; v != unbound {
+			out[pos] = v
+		} else {
+			out[pos] = rdf.VarID(int(c))
+		}
+	}
+	return out
 }
 
 func (s *search) run() {
+	if s.absent && len(s.pats) > 0 {
+		// A constant of some pattern does not occur in g at all: there
+		// are no matches. Count the root node the search would have
+		// expanded before failing.
+		if s.counting {
+			s.nodes++
+		}
+		return
+	}
 	s.rec(len(s.pats))
+}
+
+// mapping decodes the complete assignment into an rdf.Mapping.
+func (s *search) mapping() rdf.Mapping {
+	m := make(rdf.Mapping, len(s.varNames))
+	dict := s.g.Dict()
+	for slot, name := range s.varNames {
+		m[name] = dict.StringOf(s.assign[slot])
+	}
+	return m
 }
 
 // rec expands one remaining pattern; remaining counts patterns not yet
 // matched. It returns false when the search should stop (limit hit).
 func (s *search) rec(remaining int) bool {
+	if s.counting {
+		s.nodes++
+	}
 	if remaining == 0 {
-		s.found = append(s.found, s.assign.Clone())
+		s.found = append(s.found, s.mapping())
 		return s.limit <= 0 || len(s.found) < s.limit
 	}
 	// Pick the remaining pattern with the fewest matches under the
-	// current assignment (fail-first).
+	// current assignment (fail-first). Counts are posting-list lengths
+	// for patterns without repeated variables.
 	best, bestCount := -1, -1
-	for i, p := range s.pats {
+	var bestPat rdf.IDTriple
+	for i := range s.pats {
 		if s.done[i] {
 			continue
 		}
-		c := s.g.MatchCount(s.assign.Apply(p))
+		p := s.substitute(i)
+		c := s.g.MatchCountID(p)
 		if c == 0 {
 			return true // dead branch; keep searching elsewhere
 		}
 		if best == -1 || c < bestCount {
-			best, bestCount = i, c
+			best, bestCount, bestPat = i, c, p
 			if c == 1 {
 				break
 			}
 		}
 	}
-	p := s.assign.Apply(s.pats[best])
 	s.done[best] = true
-	defer func() { s.done[best] = false }()
-	for _, t := range s.g.Match(p) {
-		newVars := bindMatch(p, t, s.assign)
-		if !s.rec(remaining - 1) {
+	cp := &s.pats[best]
+	// Collect the matching candidates into this depth's reusable
+	// buffer, scored for succeed-first value ordering: a large bonus
+	// for every newly bound value that is already in the image of the
+	// partial homomorphism (or a constant of the pattern) — reusing a
+	// value adds no constraints beyond those already checked and steers
+	// towards small-image, folding-style homomorphisms — plus the
+	// occurrence count of each fresh value (well-connected values are
+	// the likeliest to extend; cf. degree ordering in subgraph
+	// isomorphism). On refutations the order is irrelevant since the
+	// search exhausts the subtree anyway.
+	depth := len(s.pats) - remaining
+	cands := s.bufs[depth][:0]
+	for _, t := range s.g.CandidatesID(bestPat) {
+		if !rdf.MatchesPatternID(bestPat, t) {
+			continue
+		}
+		var score int64
+		for pos := 0; pos < 3; pos++ {
+			if c := cp.code[pos]; c >= 0 && s.assign[c] == unbound {
+				if s.inImage(t[pos], bestPat) {
+					score += reuseBonus
+				}
+				score += int64(s.g.OccurrencesID(t[pos]))
+			}
+		}
+		cands = append(cands, scoredCand{t: t, score: score})
+	}
+	s.bufs[depth] = cands
+	if len(cands) > 1 {
+		sortCands(cands)
+	}
+	for _, sc := range cands {
+		t := sc.t
+		// Bind the slots this match newly determines.
+		var newSlots [3]int32
+		n := 0
+		for pos := 0; pos < 3; pos++ {
+			c := cp.code[pos]
+			if c >= 0 && s.assign[c] == unbound {
+				s.assign[c] = t[pos]
+				newSlots[n] = c
+				n++
+			}
+		}
+		more := s.rec(remaining - 1)
+		for j := 0; j < n; j++ {
+			s.assign[newSlots[j]] = unbound
+		}
+		if !more {
+			s.done[best] = false
 			return false
 		}
-		for _, v := range newVars {
-			delete(s.assign, v)
-		}
 	}
+	s.done[best] = false
 	return true
 }
 
-// bindMatch extends assign with the bindings induced by matching
-// pattern p (already µ-substituted) against ground triple t, returning
-// the names of newly bound variables for backtracking.
-func bindMatch(p, t rdf.Triple, assign rdf.Mapping) []string {
-	var newVars []string
-	pa, ta := p.Terms(), t.Terms()
-	for i := 0; i < 3; i++ {
-		if pa[i].IsVar() {
-			if _, ok := assign[pa[i].Value]; !ok {
-				assign[pa[i].Value] = ta[i].Value
-				newVars = append(newVars, pa[i].Value)
-			}
+// inImage reports whether the value is already used by the partial
+// homomorphism: bound to some slot, or a constant position of the
+// pattern being expanded. Assignments are small, so a linear scan
+// beats maintaining a multiset across backtracking.
+func (s *search) inImage(v rdf.TermID, pat rdf.IDTriple) bool {
+	for _, a := range s.assign {
+		if a == v {
+			return true
 		}
 	}
-	return newVars
+	for _, p := range pat {
+		if p == v {
+			return true
+		}
+	}
+	return false
+}
+
+// sortCands orders candidates by descending score, ties broken by
+// ascending triple ID for determinism. Candidate lists on the chosen
+// (most constrained) pattern are typically short, so insertion sort
+// wins below a cutoff; larger lists fall back to sort.Slice.
+func sortCands(cands []scoredCand) {
+	if len(cands) <= 32 {
+		for i := 1; i < len(cands); i++ {
+			for j := i; j > 0 && candLess(cands[j], cands[j-1]); j-- {
+				cands[j], cands[j-1] = cands[j-1], cands[j]
+			}
+		}
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool { return candLess(cands[i], cands[j]) })
+}
+
+func candLess(a, b scoredCand) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.t.Less(b.t)
 }
 
 // Hom reports whether (from) → (to) holds for generalised t-graphs

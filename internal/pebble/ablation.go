@@ -22,19 +22,20 @@ func DecideNoUnaryPruning(k int, g hom.GTGraph, mu rdf.Mapping, target *rdf.Grap
 			return false
 		}
 	}
-	inst, ok := newInstance(k, g, mu, target)
+	c, ok := newCompiled(k, g, mu, target)
 	if !ok {
 		return false
 	}
-	if inst.n == 0 {
+	if c.n == 0 {
 		return true
 	}
-	full := make([]int32, inst.d)
+	full := make([]int32, c.d)
 	for i := range full {
 		full[i] = int32(i)
 	}
-	for v := range inst.cand {
-		inst.cand[v] = full
+	for v := range c.cand {
+		c.cand[v] = full
 	}
-	return inst.run()
+	win, _, _ := c.run()
+	return win
 }

@@ -14,11 +14,19 @@
 // (|vars(S)|·|dom(G)|)ᵏ for every fixed k (Proposition 2 of the
 // paper); the pay-off, Proposition 3, is that →ᵏ coincides with →
 // whenever the core of (S, X) has treewidth at most k−1.
+//
+// The implementation is integer-native: the domain is the graph's
+// dictionary-encoded dom(G), partial assignments are flat value
+// vectors aligned with the sorted variable indices of their set D, and
+// assignment-set keys are the vectors packed into a single uint64
+// (bit-packed, k·⌈log₂ d⌉ ≤ 64) with a byte-string fallback for
+// instances too large to pack. Triple membership checks run on encoded
+// IDTriples against the graph's integer set.
 package pebble
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"wdsparql/internal/hom"
 	"wdsparql/internal/rdf"
@@ -37,19 +45,20 @@ func Decide(k int, g hom.GTGraph, mu rdf.Mapping, target *rdf.Graph) bool {
 			return false
 		}
 	}
-	inst, ok := newInstance(k, g, mu, target)
+	c, ok := newCompiled(k, g, mu, target)
 	if !ok {
 		// Some fully-instantiated triple of S is absent from G: even
 		// the empty configuration is not a partial homomorphism.
 		return false
 	}
-	if inst.n == 0 {
+	if c.n == 0 {
 		// vars(S) \ X = ∅: by equation (1) of the paper the game
 		// coincides with plain homomorphism, which the ground check
 		// above has already verified.
 		return true
 	}
-	return inst.run()
+	win, _, _ := c.run()
+	return win
 }
 
 // Counters reports the size of the last closure computation; useful
@@ -70,58 +79,45 @@ func DecideStats(k int, g hom.GTGraph, mu rdf.Mapping, target *rdf.Graph) Counte
 			return Counters{}
 		}
 	}
-	inst, ok := newInstance(k, g, mu, target)
+	c, ok := newCompiled(k, g, mu, target)
 	if !ok {
 		return Counters{}
 	}
-	if inst.n == 0 {
+	if c.n == 0 {
 		return Counters{Win: true}
 	}
-	win := inst.run()
-	return Counters{Assignments: inst.enumerated, Deleted: inst.deleted, Win: win}
+	win, enumerated, deleted := c.run()
+	return Counters{Assignments: enumerated, Deleted: deleted, Win: win}
 }
 
-// instance is one closure computation. Free variables are indexed
-// 0..n-1 and domain values 0..d-1.
-type instance struct {
+// compiled is one game instance compiled to integers. Free variables
+// are indexed 0..n-1 and domain values 0..d-1.
+type compiled struct {
 	k       int
 	n       int
 	d       int
-	varName []string             // free variable names by index
-	values  []string             // domain IRIs by index
-	target  *rdf.Graph           // G
-	cand    [][]int32            // unary-pruned candidate values per variable
-	triples []compiledTriple     // triples of S with ≥1 free variable
-	byVars  map[uint64][]int     // triple indices whose free-var mask equals key... keyed by mask
-	h       map[uint64]assignSet // D (bitmask) → surviving assignments
-
-	enumerated int
-	deleted    int
-
-	queue []deletion
+	varName []string         // free variable names by index
+	valID   []rdf.TermID     // domain index → dictionary ID in target
+	target  *rdf.Graph       // G
+	cand    [][]int32        // unary-pruned candidate values per variable
+	triples []compiledTriple // triples of S with ≥1 free variable
+	byVars  map[uint64][]int // triple indices keyed by free-var mask
 }
-
-type deletion struct {
-	mask uint64
-	key  string
-}
-
-type assignSet map[string][]int32 // packed key → value vector (aligned with sorted var indices of mask)
 
 type compiledTriple struct {
-	// terms[i] ≥ 0: index of a free variable; otherwise ^valueIndex
-	// for a constant (after µ-substitution), where valueIndex indexes
-	// instance.values, or constMissing when the constant does not
-	// occur in G at all.
+	// terms[i] ≥ 0: index of a free variable; otherwise ^domainIndex
+	// for a constant (after µ-substitution), where domainIndex indexes
+	// compiled.valID, or constMissing when the constant does not occur
+	// in G at all.
 	terms [3]int32
 	mask  uint64 // bitmask of free variables occurring
 }
 
 const constMissing = int32(-1 << 30)
 
-// newInstance compiles (S, X), µ and G. ok is false when a ground
+// newCompiled compiles (S, X), µ and G. ok is false when a ground
 // triple (under µ) is missing from G.
-func newInstance(k int, g hom.GTGraph, mu rdf.Mapping, target *rdf.Graph) (*instance, bool) {
+func newCompiled(k int, g hom.GTGraph, mu rdf.Mapping, target *rdf.Graph) (*compiled, bool) {
 	sub := mu.ApplyAll(g.S)
 	// Index the free variables.
 	varIdx := map[string]int{}
@@ -138,22 +134,22 @@ func newInstance(k int, g hom.GTGraph, mu rdf.Mapping, target *rdf.Graph) (*inst
 	if n > 64 {
 		panic("pebble: more than 64 free variables is unsupported")
 	}
-	// Index the domain.
-	dom := target.Dom()
-	valIdx := make(map[string]int, len(dom))
-	for i, v := range dom {
-		valIdx[v] = i
+	// Index the domain by dictionary ID.
+	valID := target.DomIDs()
+	idToIdx := make(map[rdf.TermID]int32, len(valID))
+	for i, id := range valID {
+		idToIdx[id] = int32(i)
 	}
-	inst := &instance{
+	c := &compiled{
 		k:       k,
 		n:       n,
-		d:       len(dom),
+		d:       len(valID),
 		varName: varName,
-		values:  dom,
+		valID:   valID,
 		target:  target,
-		h:       map[uint64]assignSet{},
 		byVars:  map[uint64][]int{},
 	}
+	dict := target.Dict()
 	for _, t := range sub {
 		if t.Ground() {
 			if !target.Contains(t) {
@@ -166,175 +162,226 @@ func newInstance(k int, g hom.GTGraph, mu rdf.Mapping, target *rdf.Graph) (*inst
 			if term.IsVar() {
 				ct.terms[i] = int32(varIdx[term.Value])
 				ct.mask |= 1 << uint(varIdx[term.Value])
-			} else if vi, ok := valIdx[term.Value]; ok {
-				ct.terms[i] = ^int32(vi)
-			} else {
-				ct.terms[i] = constMissing // constant absent from G
+				continue
+			}
+			ct.terms[i] = constMissing // constant absent from G
+			if id, ok := dict.LookupIRI(term.Value); ok {
+				if vi, ok := idToIdx[id]; ok {
+					ct.terms[i] = ^vi
+				}
 			}
 		}
-		inst.triples = append(inst.triples, ct)
-		idx := len(inst.triples) - 1
-		inst.byVars[ct.mask] = append(inst.byVars[ct.mask], idx)
+		c.triples = append(c.triples, ct)
+		c.byVars[ct.mask] = append(c.byVars[ct.mask], len(c.triples)-1)
 	}
-	inst.computeCandidates(sub)
-	return inst, true
+	c.computeCandidates()
+	return c, true
+}
+
+// tripleHolds checks whether the triple, with its free variables
+// assigned per the slot array (−1 = unbound), is in G. Triples not
+// fully covered by the assignment are unconstrained.
+func (c *compiled) tripleHolds(ct compiledTriple, assign []int32) bool {
+	var tr rdf.IDTriple
+	for i, code := range ct.terms {
+		switch {
+		case code == constMissing:
+			return false
+		case code >= 0:
+			a := assign[code]
+			if a < 0 {
+				return true // not fully covered: unconstrained
+			}
+			tr[i] = c.valID[a]
+		default:
+			tr[i] = c.valID[^code]
+		}
+	}
+	return c.target.ContainsID(tr)
 }
 
 // computeCandidates derives per-variable candidate lists from the
 // triples whose only free variable is that variable — exactly the
 // constraints the game enforces on singleton configurations. All other
 // variables get the full domain.
-func (in *instance) computeCandidates(sub []rdf.Triple) {
-	in.cand = make([][]int32, in.n)
-	full := make([]int32, in.d)
+func (c *compiled) computeCandidates() {
+	c.cand = make([][]int32, c.n)
+	full := make([]int32, c.d)
 	for i := range full {
 		full[i] = int32(i)
 	}
-	for v := 0; v < in.n; v++ {
-		mask := uint64(1) << uint(v)
-		allowed := map[int32]bool{}
-		first := true
-		for _, ti := range in.byVars[mask] {
-			ct := in.triples[ti]
-			cur := map[int32]bool{}
-			for a := 0; a < in.d; a++ {
-				if in.tripleHolds(ct, map[int32]int32{int32(v): int32(a)}) {
-					cur[int32(a)] = true
-				}
-			}
-			if first {
-				allowed, first = cur, false
-			} else {
-				for a := range allowed {
-					if !cur[a] {
-						delete(allowed, a)
-					}
-				}
-			}
-		}
-		if first {
-			in.cand[v] = full
+	assign := make([]int32, c.n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for v := 0; v < c.n; v++ {
+		tris := c.byVars[uint64(1)<<uint(v)]
+		if len(tris) == 0 {
+			c.cand[v] = full
 			continue
 		}
-		lst := make([]int32, 0, len(allowed))
-		for a := range allowed {
-			lst = append(lst, a)
-		}
-		sort.Slice(lst, func(i, j int) bool { return lst[i] < lst[j] })
-		in.cand[v] = lst
-	}
-}
-
-// tripleHolds checks whether the triple, with its free variables
-// assigned per the given map (which must cover them all), is in G.
-func (in *instance) tripleHolds(ct compiledTriple, assign map[int32]int32) bool {
-	var terms [3]rdf.Term
-	for i, code := range ct.terms {
-		switch {
-		case code == constMissing:
-			return false
-		case code >= 0:
-			a, ok := assign[code]
-			if !ok {
-				return true // not fully covered: unconstrained
+		lst := make([]int32, 0, c.d)
+		for a := int32(0); a < int32(c.d); a++ {
+			assign[v] = a
+			ok := true
+			for _, ti := range tris {
+				if !c.tripleHolds(c.triples[ti], assign) {
+					ok = false
+					break
+				}
 			}
-			terms[i] = rdf.IRI(in.values[a])
-		default:
-			terms[i] = rdf.IRI(in.values[^code])
+			if ok {
+				lst = append(lst, a)
+			}
 		}
+		assign[v] = -1
+		c.cand[v] = lst // ascending by construction
 	}
-	return in.target.Contains(rdf.WithTerms(terms))
 }
 
-// run computes the closure and reports the winner.
-func (in *instance) run() bool {
-	in.buildSets()
-	in.initialSweep()
-	in.processQueue()
-	empty, ok := in.h[0]
-	return ok && len(empty) > 0
+// run computes the closure and reports the winner, choosing the
+// densest key representation the instance fits in.
+func (c *compiled) run() (win bool, enumerated, deleted int) {
+	if b := bitsFor(c.d); c.k*b <= 64 {
+		cl := &closure[uint64]{compiled: c, pack: packU64(b)}
+		return cl.run(), cl.enumerated, cl.deleted
+	}
+	cl := &closure[string]{compiled: c, pack: packString}
+	return cl.run(), cl.enumerated, cl.deleted
 }
 
-// varsOfMask returns the sorted variable indices of a mask.
-func varsOfMask(mask uint64) []int32 {
-	var out []int32
-	for v := int32(0); mask != 0; v++ {
-		if mask&1 != 0 {
-			out = append(out, v)
+// bitsFor returns the number of bits needed to store a domain index in
+// [0, d); at least 1 so that zero-length and singleton domains pack.
+func bitsFor(d int) int {
+	if d <= 1 {
+		return 1
+	}
+	return bits.Len(uint(d - 1))
+}
+
+// packU64 packs a value vector into a uint64 key, shift-encoded with a
+// fixed field width. Vectors of the same set D have the same length,
+// and keys are only compared within one D, so the packing is injective
+// where it needs to be.
+func packU64(width int) func([]int32) uint64 {
+	return func(vals []int32) uint64 {
+		var key uint64
+		for i, v := range vals {
+			key |= uint64(uint32(v)) << (i * width)
 		}
-		mask >>= 1
+		return key
 	}
-	return out
 }
 
-func packKey(values []int32) string {
-	b := make([]byte, 0, len(values)*4)
-	for _, v := range values {
+// packString is the fallback key for instances whose vectors exceed 64
+// packed bits.
+func packString(vals []int32) string {
+	b := make([]byte, 0, len(vals)*4)
+	for _, v := range vals {
 		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 	}
 	return string(b)
 }
 
+// assignSet maps packed keys to value vectors (aligned with the sorted
+// variable indices of the set's mask).
+type assignSet[K comparable] map[K][]int32
+
+type deletion[K comparable] struct {
+	mask uint64
+	vals []int32
+}
+
+// closure runs the k-consistency computation over a compiled instance,
+// generic in the packed key type.
+type closure[K comparable] struct {
+	*compiled
+	pack     func([]int32) K
+	h        map[uint64]assignSet[K] // D (bitmask) → surviving assignments
+	maskVars map[uint64][]int32      // D → sorted variable indices
+	queue    []deletion[K]
+	ext      []int32 // scratch for extension probes
+	sub      []int32 // scratch for restriction probes
+
+	enumerated int
+	deleted    int
+}
+
+func (c *closure[K]) run() bool {
+	c.h = map[uint64]assignSet[K]{}
+	c.maskVars = map[uint64][]int32{}
+	c.ext = make([]int32, c.k+1)
+	c.sub = make([]int32, c.k+1)
+	c.buildSets()
+	c.initialSweep()
+	c.processQueue()
+	return len(c.h[0]) > 0
+}
+
 // buildSets enumerates, for each variable subset D with |D| ≤ k, the
 // assignments D → dom(G) that satisfy every triple fully inside D.
-func (in *instance) buildSets() {
-	var subsets []uint64
-	var gen func(start int, mask uint64, size int)
-	gen = func(start int, mask uint64, size int) {
-		subsets = append(subsets, mask)
-		if size == in.k {
+func (c *closure[K]) buildSets() {
+	var vars []int32
+	var gen func(start int, mask uint64)
+	gen = func(start int, mask uint64) {
+		c.maskVars[mask] = append([]int32(nil), vars...)
+		c.h[mask] = c.enumerate(mask, c.maskVars[mask])
+		if len(vars) == c.k {
 			return
 		}
-		for v := start; v < in.n; v++ {
-			gen(v+1, mask|1<<uint(v), size+1)
+		for v := start; v < c.n; v++ {
+			vars = append(vars, int32(v))
+			gen(v+1, mask|1<<uint(v))
+			vars = vars[:len(vars)-1]
 		}
 	}
-	gen(0, 0, 0)
-	for _, mask := range subsets {
-		in.h[mask] = in.enumerate(mask)
-	}
+	gen(0, 0)
 }
 
 // enumerate lists the consistent assignments for the variable set D.
-func (in *instance) enumerate(mask uint64) assignSet {
-	vars := varsOfMask(mask)
-	out := assignSet{}
-	assign := map[int32]int32{}
+func (c *closure[K]) enumerate(mask uint64, vars []int32) assignSet[K] {
+	out := assignSet[K]{}
+	assign := make([]int32, c.n)
+	for i := range assign {
+		assign[i] = -1
+	}
 	vals := make([]int32, len(vars))
-	// relevant triples: those whose free vars ⊆ mask.
+	// Relevant triples: those whose free vars ⊆ D.
 	var constraints []compiledTriple
-	for m, idxs := range in.byVars {
+	for m, idxs := range c.byVars {
 		if m&^mask == 0 {
 			for _, i := range idxs {
-				constraints = append(constraints, in.triples[i])
+				constraints = append(constraints, c.triples[i])
 			}
 		}
 	}
 	var rec func(i int)
 	rec = func(i int) {
 		if i == len(vars) {
-			in.enumerated++
-			out[packKey(vals)] = append([]int32{}, vals...)
+			c.enumerated++
+			stored := append([]int32(nil), vals...)
+			out[c.pack(stored)] = stored
 			return
 		}
 		v := vars[i]
-		for _, a := range in.cand[v] {
+		vbit := uint64(1) << uint(v)
+		for _, a := range c.cand[v] {
 			assign[v] = a
 			ok := true
 			for _, ct := range constraints {
-				// Check only constraints now fully assigned that
-				// involve v (avoid rechecking).
-				if ct.mask&(1<<uint(v)) == 0 {
+				// Check only constraints involving v that are now
+				// fully assigned (avoid rechecking).
+				if ct.mask&vbit == 0 {
 					continue
 				}
 				covered := true
-				for _, vv := range varsOfMask(ct.mask) {
-					if _, has := assign[vv]; !has {
+				for rem := ct.mask; rem != 0; rem &= rem - 1 {
+					if assign[bits.TrailingZeros64(rem)] < 0 {
 						covered = false
 						break
 					}
 				}
-				if covered && !in.tripleHolds(ct, assign) {
+				if covered && !c.tripleHolds(ct, assign) {
 					ok = false
 					break
 				}
@@ -343,7 +390,7 @@ func (in *instance) enumerate(mask uint64) assignSet {
 				vals[i] = a
 				rec(i + 1)
 			}
-			delete(assign, v)
+			assign[v] = -1
 		}
 	}
 	rec(0)
@@ -351,14 +398,15 @@ func (in *instance) enumerate(mask uint64) assignSet {
 }
 
 // initialSweep applies the forth condition once to every assignment.
-func (in *instance) initialSweep() {
-	for mask, set := range in.h {
-		if popcount(mask) >= in.k {
+func (c *closure[K]) initialSweep() {
+	for mask, set := range c.h {
+		if bits.OnesCount64(mask) >= c.k {
 			continue
 		}
+		vars := c.maskVars[mask]
 		for key, vals := range set {
-			if !in.extensible(mask, vals) {
-				in.remove(mask, key)
+			if !c.extensible(mask, vars, vals) {
+				c.removeKey(mask, key)
 			}
 		}
 	}
@@ -366,13 +414,12 @@ func (in *instance) initialSweep() {
 
 // extensible reports whether the assignment can be extended to every
 // further variable.
-func (in *instance) extensible(mask uint64, vals []int32) bool {
-	vars := varsOfMask(mask)
-	for x := int32(0); x < int32(in.n); x++ {
+func (c *closure[K]) extensible(mask uint64, vars, vals []int32) bool {
+	for x := int32(0); x < int32(c.n); x++ {
 		if mask&(1<<uint(x)) != 0 {
 			continue
 		}
-		if !in.hasExtension(mask, vars, vals, x) {
+		if !c.hasExtension(mask, vars, vals, x) {
 			return false
 		}
 	}
@@ -381,56 +428,57 @@ func (in *instance) extensible(mask uint64, vals []int32) bool {
 
 // hasExtension reports whether some value of x extends the assignment
 // within the surviving family.
-func (in *instance) hasExtension(mask uint64, vars []int32, vals []int32, x int32) bool {
-	super := mask | 1<<uint(x)
-	set, ok := in.h[super]
+func (c *closure[K]) hasExtension(mask uint64, vars, vals []int32, x int32) bool {
+	set, ok := c.h[mask|1<<uint(x)]
 	if !ok {
 		return false
 	}
-	// Position of x within the sorted vars of super.
+	// Position of x within the sorted vars of the superset.
 	pos := 0
 	for _, v := range vars {
 		if v < x {
 			pos++
 		}
 	}
-	ext := make([]int32, len(vars)+1)
+	ext := c.ext[:len(vars)+1]
 	copy(ext, vals[:pos])
 	copy(ext[pos+1:], vals[pos:])
-	for _, a := range in.cand[x] {
+	for _, a := range c.cand[x] {
 		ext[pos] = a
-		if _, alive := set[packKey(ext)]; alive {
+		if _, alive := set[c.pack(ext)]; alive {
 			return true
 		}
 	}
 	return false
 }
 
-// remove deletes an assignment and enqueues the deletion for
-// propagation.
-func (in *instance) remove(mask uint64, key string) {
-	set := in.h[mask]
-	if _, ok := set[key]; !ok {
+// removeKey deletes an assignment and enqueues the deletion for
+// propagation. The stored value vector is reused for the queue entry,
+// so no copy is made.
+func (c *closure[K]) removeKey(mask uint64, key K) {
+	set := c.h[mask]
+	stored, ok := set[key]
+	if !ok {
 		return
 	}
 	delete(set, key)
-	in.deleted++
-	in.queue = append(in.queue, deletion{mask: mask, key: key})
+	c.deleted++
+	c.queue = append(c.queue, deletion[K]{mask: mask, vals: stored})
 }
 
 // processQueue propagates deletions: upward (supersets of a deleted
 // assignment violate restriction closure) and downward (restrictions
 // may have lost their last extension witness).
-func (in *instance) processQueue() {
-	for len(in.queue) > 0 {
-		d := in.queue[len(in.queue)-1]
-		in.queue = in.queue[:len(in.queue)-1]
-		vars := varsOfMask(d.mask)
-		vals := unpackKey(d.key)
+func (c *closure[K]) processQueue() {
+	for len(c.queue) > 0 {
+		d := c.queue[len(c.queue)-1]
+		c.queue = c.queue[:len(c.queue)-1]
+		vars := c.maskVars[d.mask]
+		vals := d.vals
 
 		// Upward: delete every superset assignment extending this one.
-		if popcount(d.mask) < in.k {
-			for y := int32(0); y < int32(in.n); y++ {
+		if bits.OnesCount64(d.mask) < c.k {
+			for y := int32(0); y < int32(c.n); y++ {
 				if d.mask&(1<<uint(y)) != 0 {
 					continue
 				}
@@ -441,12 +489,12 @@ func (in *instance) processQueue() {
 						pos++
 					}
 				}
-				ext := make([]int32, len(vars)+1)
+				ext := c.ext[:len(vars)+1]
 				copy(ext, vals[:pos])
 				copy(ext[pos+1:], vals[pos:])
-				for _, a := range in.cand[y] {
+				for _, a := range c.cand[y] {
 					ext[pos] = a
-					in.remove(super, packKey(ext))
+					c.removeKey(super, c.pack(ext))
 				}
 			}
 		}
@@ -455,34 +503,16 @@ func (in *instance) processQueue() {
 		// rechecked for that variable.
 		for i, y := range vars {
 			subMask := d.mask &^ (1 << uint(y))
-			subVals := make([]int32, 0, len(vals)-1)
+			subVals := c.sub[:0]
 			subVals = append(subVals, vals[:i]...)
 			subVals = append(subVals, vals[i+1:]...)
-			subKey := packKey(subVals)
-			if _, alive := in.h[subMask][subKey]; !alive {
+			subKey := c.pack(subVals)
+			if _, alive := c.h[subMask][subKey]; !alive {
 				continue
 			}
-			subVars := varsOfMask(subMask)
-			if !in.hasExtension(subMask, subVars, subVals, y) {
-				in.remove(subMask, subKey)
+			if !c.hasExtension(subMask, c.maskVars[subMask], subVals, y) {
+				c.removeKey(subMask, subKey)
 			}
 		}
 	}
-}
-
-func unpackKey(key string) []int32 {
-	out := make([]int32, len(key)/4)
-	for i := range out {
-		out[i] = int32(key[i*4]) | int32(key[i*4+1])<<8 | int32(key[i*4+2])<<16 | int32(key[i*4+3])<<24
-	}
-	return out
-}
-
-func popcount(x uint64) int {
-	c := 0
-	for x != 0 {
-		x &= x - 1
-		c++
-	}
-	return c
 }

@@ -1,0 +1,214 @@
+package rdf
+
+import "strings"
+
+// This file implements dictionary encoding for terms: every IRI and
+// every variable is interned to a dense integer TermID, and triples
+// become IDTriple values of three machine words. Real SPARQL engines
+// dictionary-encode terms because the workloads are join- and
+// closure-heavy; interning turns hashing, equality and set membership
+// on the hot paths (Graph.Match, the homomorphism solver, the pebble
+// closure) into integer operations.
+//
+// IRIs and variables live in disjoint ID ranges so that the kind of a
+// term is a single range check: IRI IDs are dense from 0, variable IDs
+// are dense from VarIDBase = 1<<31. A Graph owns a private Dict that is
+// populated only by Add/AddID, so the dictionary's IRI table tracks
+// exactly the IRIs that were ever inserted; read operations (Match,
+// Contains, ...) never intern and are therefore safe for concurrent
+// use.
+
+// TermID is a dictionary-encoded term: either an interned IRI
+// (id < VarIDBase) or an interned variable (id ≥ VarIDBase).
+type TermID uint32
+
+// VarIDBase is the first variable ID. IRIs occupy [0, VarIDBase) and
+// variables [VarIDBase, 1<<32), so IsVar is a range check.
+const VarIDBase TermID = 1 << 31
+
+// IsVar reports whether the ID denotes a variable.
+func (id TermID) IsVar() bool { return id >= VarIDBase }
+
+// VarID returns the variable ID with the given dense index. Solvers
+// use it to mint positional variable IDs (slots) without touching any
+// dictionary: two pattern positions carry the same variable iff they
+// carry the same TermID.
+func VarID(slot int) TermID { return VarIDBase + TermID(slot) }
+
+// VarSlot inverts VarID.
+func (id TermID) VarSlot() int { return int(id - VarIDBase) }
+
+// IDTriple is a dictionary-encoded triple or triple pattern: three
+// TermIDs in (S, P, O) order. Encoded ground triples contain only IRI
+// IDs; encoded patterns may contain variable IDs.
+type IDTriple [3]TermID
+
+// Less imposes the lexicographic total order on encoded triples, used
+// to keep posting lists ID-sorted.
+func (t IDTriple) Less(u IDTriple) bool {
+	if t[0] != u[0] {
+		return t[0] < u[0]
+	}
+	if t[1] != u[1] {
+		return t[1] < u[1]
+	}
+	return t[2] < u[2]
+}
+
+// Dict interns strings to dense TermIDs, IRIs and variables
+// separately. The zero value is not usable; call NewDict.
+type Dict struct {
+	iriID map[string]TermID
+	iris  []string
+	varID map[string]TermID
+	vars  []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{iriID: map[string]TermID{}, varID: map[string]TermID{}}
+}
+
+// InternIRI returns the ID of the IRI value, interning it if new.
+func (d *Dict) InternIRI(v string) TermID {
+	if id, ok := d.iriID[v]; ok {
+		return id
+	}
+	if len(d.iris) >= int(VarIDBase) {
+		panic("rdf: dictionary overflow: 2^31 IRIs")
+	}
+	id := TermID(len(d.iris))
+	d.iriID[v] = id
+	d.iris = append(d.iris, v)
+	return id
+}
+
+// InternVar returns the ID of the variable with the given name,
+// interning it if new. A leading "?" is stripped, mirroring Var.
+func (d *Dict) InternVar(v string) TermID {
+	v = strings.TrimPrefix(v, "?")
+	if id, ok := d.varID[v]; ok {
+		return id
+	}
+	if len(d.vars) >= int(VarIDBase) {
+		panic("rdf: dictionary overflow: 2^31 variables")
+	}
+	id := VarIDBase + TermID(len(d.vars))
+	d.varID[v] = id
+	d.vars = append(d.vars, v)
+	return id
+}
+
+// Intern returns the ID of the term, interning it if new.
+func (d *Dict) Intern(t Term) TermID {
+	if t.IsVar() {
+		return d.InternVar(t.Value)
+	}
+	return d.InternIRI(t.Value)
+}
+
+// LookupIRI returns the ID of an IRI value without interning.
+func (d *Dict) LookupIRI(v string) (TermID, bool) {
+	id, ok := d.iriID[v]
+	return id, ok
+}
+
+// LookupVar returns the ID of a variable name without interning.
+func (d *Dict) LookupVar(v string) (TermID, bool) {
+	id, ok := d.varID[strings.TrimPrefix(v, "?")]
+	return id, ok
+}
+
+// Lookup returns the ID of a term without interning.
+func (d *Dict) Lookup(t Term) (TermID, bool) {
+	if t.IsVar() {
+		return d.LookupVar(t.Value)
+	}
+	return d.LookupIRI(t.Value)
+}
+
+// StringOf returns the string interned under the ID (the IRI value or
+// the variable name, without sigil). It panics on an unknown ID.
+func (d *Dict) StringOf(id TermID) string {
+	if id.IsVar() {
+		return d.vars[id-VarIDBase]
+	}
+	return d.iris[id]
+}
+
+// TermOf decodes an ID back into a Term.
+func (d *Dict) TermOf(id TermID) Term {
+	if id.IsVar() {
+		return Term{Kind: KindVar, Value: d.vars[id-VarIDBase]}
+	}
+	return Term{Kind: KindIRI, Value: d.iris[id]}
+}
+
+// NumIRIs returns the number of interned IRIs.
+func (d *Dict) NumIRIs() int { return len(d.iris) }
+
+// NumVars returns the number of interned variables.
+func (d *Dict) NumVars() int { return len(d.vars) }
+
+// EncodeTriple interns all three positions of a triple or pattern.
+func (d *Dict) EncodeTriple(t Triple) IDTriple {
+	return IDTriple{d.Intern(t.S), d.Intern(t.P), d.Intern(t.O)}
+}
+
+// DecodeTriple inverts EncodeTriple.
+func (d *Dict) DecodeTriple(t IDTriple) Triple {
+	return Triple{S: d.TermOf(t[0]), P: d.TermOf(t[1]), O: d.TermOf(t[2])}
+}
+
+// Clone returns a deep copy of the dictionary; the copy assigns the
+// same IDs to the same strings.
+func (d *Dict) Clone() *Dict {
+	out := &Dict{
+		iriID: make(map[string]TermID, len(d.iriID)),
+		iris:  append([]string(nil), d.iris...),
+		varID: make(map[string]TermID, len(d.varID)),
+		vars:  append([]string(nil), d.vars...),
+	}
+	for k, v := range d.iriID {
+		out.iriID[k] = v
+	}
+	for k, v := range d.varID {
+		out.varID[k] = v
+	}
+	return out
+}
+
+// MatchesPatternID reports whether the ground encoded triple t matches
+// the encoded pattern p: IRI positions must be equal, variable
+// positions match anything, and repeated variables must bind the same
+// value (e.g. (?x, r, ?x) only matches loops). With at most three
+// positions the repeated-variable check runs on fixed-size scratch
+// arrays, with no allocation.
+func MatchesPatternID(p, t IDTriple) bool {
+	var pv, bv [3]TermID // pattern var IDs seen, and their bound values
+	nb := 0
+	for i := 0; i < 3; i++ {
+		pi := p[i]
+		if !pi.IsVar() {
+			if pi != t[i] {
+				return false
+			}
+			continue
+		}
+		seen := false
+		for j := 0; j < nb; j++ {
+			if pv[j] == pi {
+				if bv[j] != t[i] {
+					return false
+				}
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			pv[nb], bv[nb] = pi, t[i]
+			nb++
+		}
+	}
+	return true
+}

@@ -1,0 +1,129 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Dict round-trip: intern → lookup → string is the identity, IDs are
+// dense, stable, and the IRI/variable ranges are disjoint.
+func TestDictRoundTrip(t *testing.T) {
+	d := NewDict()
+	rng := rand.New(rand.NewSource(7))
+	var iris, vars []string
+	for i := 0; i < 500; i++ {
+		iris = append(iris, fmt.Sprintf("iri%d", rng.Intn(200)))
+		vars = append(vars, fmt.Sprintf("v%d", rng.Intn(200)))
+	}
+	for _, v := range iris {
+		id := d.InternIRI(v)
+		if id.IsVar() {
+			t.Fatalf("IRI %q got variable-range ID %d", v, id)
+		}
+		if got := d.StringOf(id); got != v {
+			t.Fatalf("StringOf(InternIRI(%q)) = %q", v, got)
+		}
+		if d.TermOf(id) != IRI(v) {
+			t.Fatalf("TermOf(InternIRI(%q)) = %v", v, d.TermOf(id))
+		}
+		if again := d.InternIRI(v); again != id {
+			t.Fatalf("re-interning %q changed ID %d → %d", v, id, again)
+		}
+		look, ok := d.LookupIRI(v)
+		if !ok || look != id {
+			t.Fatalf("LookupIRI(%q) = %d, %v", v, look, ok)
+		}
+	}
+	for _, v := range vars {
+		id := d.InternVar(v)
+		if !id.IsVar() {
+			t.Fatalf("variable %q got IRI-range ID %d", v, id)
+		}
+		if got := d.StringOf(id); got != v {
+			t.Fatalf("StringOf(InternVar(%q)) = %q", v, got)
+		}
+		if d.TermOf(id) != Var(v) {
+			t.Fatalf("TermOf(InternVar(%q)) = %v", v, d.TermOf(id))
+		}
+		// Var("?x") and Var("x") are the same variable.
+		if d.InternVar("?"+v) != id {
+			t.Fatalf("sigil-stripped interning of %q disagrees", v)
+		}
+	}
+	if d.NumIRIs() > 200 || d.NumVars() > 200 {
+		t.Fatalf("duplicate interning: %d IRIs, %d vars", d.NumIRIs(), d.NumVars())
+	}
+	// Dense and stable: ID i decodes to the i-th distinct string.
+	for i := 0; i < d.NumIRIs(); i++ {
+		if id, ok := d.LookupIRI(d.StringOf(TermID(i))); !ok || id != TermID(i) {
+			t.Fatalf("IRI table not dense at %d", i)
+		}
+	}
+}
+
+// EncodeTriple/DecodeTriple round-trip on random triples and patterns.
+func TestDictTripleRoundTrip(t *testing.T) {
+	d := NewDict()
+	rng := rand.New(rand.NewSource(8))
+	randTerm := func() Term {
+		if rng.Intn(2) == 0 {
+			return IRI(fmt.Sprintf("c%d", rng.Intn(20)))
+		}
+		return Var(fmt.Sprintf("x%d", rng.Intn(20)))
+	}
+	for i := 0; i < 300; i++ {
+		tr := T(randTerm(), randTerm(), randTerm())
+		enc := d.EncodeTriple(tr)
+		if got := d.DecodeTriple(enc); got != tr {
+			t.Fatalf("round trip: %v → %v → %v", tr, enc, got)
+		}
+		for j, term := range tr.Terms() {
+			if term.IsVar() != enc[j].IsVar() {
+				t.Fatalf("kind not preserved at position %d of %v", j, tr)
+			}
+		}
+	}
+}
+
+// Dict.Clone preserves IDs in both directions.
+func TestDictClone(t *testing.T) {
+	d := NewDict()
+	a, x := d.InternIRI("a"), d.InternVar("x")
+	c := d.Clone()
+	if id, ok := c.LookupIRI("a"); !ok || id != a {
+		t.Fatal("clone lost IRI")
+	}
+	if id, ok := c.LookupVar("x"); !ok || id != x {
+		t.Fatal("clone lost variable")
+	}
+	// Divergence after cloning must not leak either way.
+	c.InternIRI("only-in-clone")
+	if _, ok := d.LookupIRI("only-in-clone"); ok {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestMatchesPatternID(t *testing.T) {
+	d := NewDict()
+	a, b, r := d.InternIRI("a"), d.InternIRI("b"), d.InternIRI("r")
+	x, y := VarID(0), VarID(1)
+	cases := []struct {
+		p, t IDTriple
+		want bool
+	}{
+		{IDTriple{x, r, y}, IDTriple{a, r, b}, true},
+		{IDTriple{x, r, x}, IDTriple{a, r, b}, false},
+		{IDTriple{x, r, x}, IDTriple{a, r, a}, true},
+		{IDTriple{a, r, y}, IDTriple{a, r, b}, true},
+		{IDTriple{b, r, y}, IDTriple{a, r, b}, false},
+		{IDTriple{x, x, y}, IDTriple{r, r, b}, true},
+		{IDTriple{x, x, y}, IDTriple{a, r, b}, false},
+		{IDTriple{x, y, x}, IDTriple{a, r, a}, true},
+	}
+	for _, c := range cases {
+		if got := MatchesPatternID(c.p, c.t); got != c.want {
+			t.Fatalf("MatchesPatternID(%v, %v) = %v, want %v", c.p, c.t, got, c.want)
+		}
+	}
+}

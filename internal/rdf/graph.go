@@ -5,36 +5,50 @@ import (
 )
 
 // Graph is a ground RDF graph: a finite set of RDF triples over IRIs
-// (the paper assumes no blank nodes). The graph maintains positional
-// indexes so that triple patterns with any subset of positions bound
-// can be matched without scanning the whole graph.
+// (the paper assumes no blank nodes). Internally the graph is
+// dictionary-encoded: every IRI is interned to a dense TermID in a
+// private Dict and triples are stored as IDTriples, with positional
+// indexes keyed by integers and insertion-ordered posting lists
+// (appends are O(1), so graph construction is linear; the order is
+// deterministic for a fixed construction order, and consumers that
+// need a sorted view sort at their boundary). The
+// string-based API (Add, Match, Contains, MatchMappings, ...) is a
+// thin shim over the ID-native core; hot callers (the homomorphism
+// solver, the pebble closure) use the *ID methods directly.
+//
+// All read operations are free of interning and internal caching, so a
+// Graph is safe for concurrent readers once construction is done.
 //
 // The zero value is not usable; call NewGraph.
 type Graph struct {
-	set map[Triple]struct{}
+	dict *Dict
+	set  map[IDTriple]struct{}
+	all  []IDTriple // insertion order; returned directly by TriplesID
 
-	// Positional indexes. Keys are IRI values.
-	byS  map[string][]Triple
-	byP  map[string][]Triple
-	byO  map[string][]Triple
-	bySP map[[2]string][]Triple
-	byPO map[[2]string][]Triple
-	bySO map[[2]string][]Triple
+	// Positional indexes with insertion-ordered posting lists.
+	byS  map[TermID][]IDTriple
+	byP  map[TermID][]IDTriple
+	byO  map[TermID][]IDTriple
+	bySP map[[2]TermID][]IDTriple
+	byPO map[[2]TermID][]IDTriple
+	bySO map[[2]TermID][]IDTriple
 
-	dom map[string]struct{} // set of IRIs appearing anywhere in G
+	dom map[TermID]struct{} // IDs of IRIs appearing anywhere in G
+	occ []int32             // occurrence count per IRI ID across all positions
 }
 
 // NewGraph returns an empty RDF graph.
 func NewGraph() *Graph {
 	return &Graph{
-		set:  map[Triple]struct{}{},
-		byS:  map[string][]Triple{},
-		byP:  map[string][]Triple{},
-		byO:  map[string][]Triple{},
-		bySP: map[[2]string][]Triple{},
-		byPO: map[[2]string][]Triple{},
-		bySO: map[[2]string][]Triple{},
-		dom:  map[string]struct{}{},
+		dict: NewDict(),
+		set:  map[IDTriple]struct{}{},
+		byS:  map[TermID][]IDTriple{},
+		byP:  map[TermID][]IDTriple{},
+		byO:  map[TermID][]IDTriple{},
+		bySP: map[[2]TermID][]IDTriple{},
+		byPO: map[[2]TermID][]IDTriple{},
+		bySO: map[[2]TermID][]IDTriple{},
+		dom:  map[TermID]struct{}{},
 	}
 }
 
@@ -49,6 +63,11 @@ func GraphOf(ts ...Triple) *Graph {
 	return g
 }
 
+// Dict returns the graph's term dictionary. Its IRI table covers
+// exactly dom(G) plus any IRIs the caller interns explicitly; interned
+// IRIs only join dom(G) when a triple containing them is added.
+func (g *Graph) Dict() *Dict { return g.dict }
+
 // Add inserts a ground triple into the graph. Adding a triple that
 // contains a variable panics: RDF graphs are ground by definition
 // (Section 2 of the paper).
@@ -56,29 +75,134 @@ func (g *Graph) Add(t Triple) {
 	if !t.Ground() {
 		panic("rdf: cannot add non-ground triple " + t.String() + " to a graph")
 	}
-	if _, ok := g.set[t]; ok {
-		return
-	}
-	g.set[t] = struct{}{}
-	s, p, o := t.S.Value, t.P.Value, t.O.Value
-	g.byS[s] = append(g.byS[s], t)
-	g.byP[p] = append(g.byP[p], t)
-	g.byO[o] = append(g.byO[o], t)
-	g.bySP[[2]string{s, p}] = append(g.bySP[[2]string{s, p}], t)
-	g.byPO[[2]string{p, o}] = append(g.byPO[[2]string{p, o}], t)
-	g.bySO[[2]string{s, o}] = append(g.bySO[[2]string{s, o}], t)
-	g.dom[s] = struct{}{}
-	g.dom[p] = struct{}{}
-	g.dom[o] = struct{}{}
+	g.addID(IDTriple{
+		g.dict.InternIRI(t.S.Value),
+		g.dict.InternIRI(t.P.Value),
+		g.dict.InternIRI(t.O.Value),
+	})
 }
 
 // AddTriple is a convenience for Add(T(IRI(s), IRI(p), IRI(o))).
 func (g *Graph) AddTriple(s, p, o string) {
-	g.Add(T(IRI(s), IRI(p), IRI(o)))
+	g.addID(IDTriple{g.dict.InternIRI(s), g.dict.InternIRI(p), g.dict.InternIRI(o)})
+}
+
+// AddID inserts an encoded ground triple whose IDs were interned in
+// g.Dict(). It panics on variable IDs or IDs unknown to the
+// dictionary.
+func (g *Graph) AddID(t IDTriple) {
+	for _, id := range t {
+		if id.IsVar() || int(id) >= g.dict.NumIRIs() {
+			panic("rdf: AddID: ID not interned as an IRI in this graph's dictionary")
+		}
+	}
+	g.addID(t)
+}
+
+func (g *Graph) addID(t IDTriple) {
+	if _, ok := g.set[t]; ok {
+		return
+	}
+	g.set[t] = struct{}{}
+	g.all = append(g.all, t)
+	g.byS[t[0]] = append(g.byS[t[0]], t)
+	g.byP[t[1]] = append(g.byP[t[1]], t)
+	g.byO[t[2]] = append(g.byO[t[2]], t)
+	g.bySP[[2]TermID{t[0], t[1]}] = append(g.bySP[[2]TermID{t[0], t[1]}], t)
+	g.byPO[[2]TermID{t[1], t[2]}] = append(g.byPO[[2]TermID{t[1], t[2]}], t)
+	g.bySO[[2]TermID{t[0], t[2]}] = append(g.bySO[[2]TermID{t[0], t[2]}], t)
+	g.dom[t[0]] = struct{}{}
+	g.dom[t[1]] = struct{}{}
+	g.dom[t[2]] = struct{}{}
+	for _, id := range t {
+		for int(id) >= len(g.occ) {
+			g.occ = append(g.occ, 0)
+		}
+		g.occ[id]++
+	}
+}
+
+// OccurrencesID returns how many triple positions of G hold the IRI
+// with the given ID (an IRI in i triples at j positions each counts
+// i·j). Solvers use it as a cheap connectivity score for value
+// ordering.
+func (g *Graph) OccurrencesID(id TermID) int32 {
+	if id.IsVar() || int(id) >= len(g.occ) {
+		return 0
+	}
+	return g.occ[id]
+}
+
+// encodeGround encodes a ground triple without interning; ok is false
+// when some IRI does not occur in the dictionary (and hence the triple
+// cannot be in G).
+func (g *Graph) encodeGround(t Triple) (IDTriple, bool) {
+	s, ok := g.dict.LookupIRI(t.S.Value)
+	if !ok {
+		return IDTriple{}, false
+	}
+	p, ok := g.dict.LookupIRI(t.P.Value)
+	if !ok {
+		return IDTriple{}, false
+	}
+	o, ok := g.dict.LookupIRI(t.O.Value)
+	if !ok {
+		return IDTriple{}, false
+	}
+	return IDTriple{s, p, o}, true
+}
+
+// EncodePattern encodes a triple pattern without interning: IRI
+// positions are resolved through the dictionary and variable positions
+// receive positional variable IDs (VarID(0), VarID(1), ... by first
+// occurrence; repeated variables share an ID). ok is false when some
+// IRI constant does not occur in G's dictionary, in which case the
+// pattern matches nothing.
+func (g *Graph) EncodePattern(t Triple) (IDTriple, bool) {
+	var out IDTriple
+	var names [3]string
+	n := 0
+	for i, term := range t.Terms() {
+		if term.IsVar() {
+			slot := -1
+			for j := 0; j < n; j++ {
+				if names[j] == term.Value {
+					slot = j
+					break
+				}
+			}
+			if slot < 0 {
+				names[n] = term.Value
+				slot = n
+				n++
+			}
+			out[i] = VarID(slot)
+			continue
+		}
+		id, ok := g.dict.LookupIRI(term.Value)
+		if !ok {
+			return IDTriple{}, false
+		}
+		out[i] = id
+	}
+	return out, true
 }
 
 // Contains reports whether the ground triple t is in G.
 func (g *Graph) Contains(t Triple) bool {
+	if !t.Ground() {
+		return false
+	}
+	id, ok := g.encodeGround(t)
+	if !ok {
+		return false
+	}
+	_, in := g.set[id]
+	return in
+}
+
+// ContainsID reports whether the encoded ground triple is in G.
+func (g *Graph) ContainsID(t IDTriple) bool {
 	_, ok := g.set[t]
 	return ok
 }
@@ -89,10 +213,21 @@ func (g *Graph) Len() int { return len(g.set) }
 // Dom returns dom(G), the sorted set of IRIs appearing in G.
 func (g *Graph) Dom() []string {
 	out := make([]string, 0, len(g.dom))
-	for v := range g.dom {
-		out = append(out, v)
+	for id := range g.dom {
+		out = append(out, g.dict.iris[id])
 	}
 	sort.Strings(out)
+	return out
+}
+
+// DomIDs returns the IDs of dom(G), sorted ascending. The order is
+// deterministic for a fixed construction order of the graph.
+func (g *Graph) DomIDs() []TermID {
+	out := make([]TermID, 0, len(g.dom))
+	for id := range g.dom {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -101,19 +236,27 @@ func (g *Graph) DomSize() int { return len(g.dom) }
 
 // HasIRI reports whether the IRI value occurs anywhere in G.
 func (g *Graph) HasIRI(v string) bool {
-	_, ok := g.dom[v]
-	return ok
+	id, ok := g.dict.LookupIRI(v)
+	if !ok {
+		return false
+	}
+	_, in := g.dom[id]
+	return in
 }
 
 // Triples returns all triples in a deterministic order.
 func (g *Graph) Triples() []Triple {
-	out := make([]Triple, 0, len(g.set))
-	for t := range g.set {
-		out = append(out, t)
+	out := make([]Triple, 0, len(g.all))
+	for _, t := range g.all {
+		out = append(out, g.dict.DecodeTriple(t))
 	}
 	SortTriples(out)
 	return out
 }
+
+// TriplesID returns all encoded triples in insertion order. The slice
+// is the graph's internal storage: callers must not modify it.
+func (g *Graph) TriplesID() []IDTriple { return g.all }
 
 // Match returns all triples of G matching the pattern p under the
 // partial assignment already fixed inside p itself: a position holding
@@ -121,10 +264,27 @@ func (g *Graph) Triples() []Triple {
 // anything (repeated variables are checked for equality). The result
 // order is unspecified.
 func (g *Graph) Match(p Triple) []Triple {
-	cands := g.candidates(p)
+	ip, ok := g.EncodePattern(p)
+	if !ok {
+		return nil
+	}
+	cands := g.CandidatesID(ip)
 	out := make([]Triple, 0, len(cands))
 	for _, t := range cands {
-		if matchesPattern(p, t) {
+		if MatchesPatternID(ip, t) {
+			out = append(out, g.dict.DecodeTriple(t))
+		}
+	}
+	return out
+}
+
+// MatchID is Match over encoded patterns (see EncodePattern for the
+// pattern convention).
+func (g *Graph) MatchID(p IDTriple) []IDTriple {
+	cands := g.CandidatesID(p)
+	out := make([]IDTriple, 0, len(cands))
+	for _, t := range cands {
+		if MatchesPatternID(p, t) {
 			out = append(out, t)
 		}
 	}
@@ -133,100 +293,144 @@ func (g *Graph) Match(p Triple) []Triple {
 
 // MatchCount returns the number of triples matching the pattern.
 func (g *Graph) MatchCount(p Triple) int {
+	ip, ok := g.EncodePattern(p)
+	if !ok {
+		return 0
+	}
+	return g.MatchCountID(ip)
+}
+
+// MatchCountID returns the number of triples matching the encoded
+// pattern. When the pattern has no repeated variables the count is the
+// posting-list length, with no scan.
+func (g *Graph) MatchCountID(p IDTriple) int {
+	cands := g.CandidatesID(p)
+	if !hasRepeatedVar(p) {
+		return len(cands)
+	}
 	n := 0
-	for _, t := range g.candidates(p) {
-		if matchesPattern(p, t) {
+	for _, t := range cands {
+		if MatchesPatternID(p, t) {
 			n++
 		}
 	}
 	return n
 }
 
-// candidates selects the most selective index for the pattern.
-func (g *Graph) candidates(p Triple) []Triple {
-	sB, pB, oB := p.S.IsIRI(), p.P.IsIRI(), p.O.IsIRI()
+// hasRepeatedVar reports whether the same variable ID occurs in more
+// than one position of the encoded pattern.
+func hasRepeatedVar(p IDTriple) bool {
+	return (p[0].IsVar() && (p[0] == p[1] || p[0] == p[2])) ||
+		(p[1].IsVar() && p[1] == p[2])
+}
+
+// CandidatesID selects the most selective index for the encoded
+// pattern and returns its posting list. Every triple matching the
+// pattern is in the list; the list may contain non-matches when the
+// pattern has repeated variables. The slice is internal storage:
+// callers must not modify it.
+func (g *Graph) CandidatesID(p IDTriple) []IDTriple {
+	sB, pB, oB := !p[0].IsVar(), !p[1].IsVar(), !p[2].IsVar()
 	switch {
 	case sB && pB && oB:
-		if g.Contains(p) {
-			return []Triple{p}
+		if g.ContainsID(p) {
+			return []IDTriple{p}
 		}
 		return nil
 	case sB && pB:
-		return g.bySP[[2]string{p.S.Value, p.P.Value}]
+		return g.bySP[[2]TermID{p[0], p[1]}]
 	case pB && oB:
-		return g.byPO[[2]string{p.P.Value, p.O.Value}]
+		return g.byPO[[2]TermID{p[1], p[2]}]
 	case sB && oB:
-		return g.bySO[[2]string{p.S.Value, p.O.Value}]
+		return g.bySO[[2]TermID{p[0], p[2]}]
 	case sB:
-		return g.byS[p.S.Value]
+		return g.byS[p[0]]
 	case pB:
-		return g.byP[p.P.Value]
+		return g.byP[p[1]]
 	case oB:
-		return g.byO[p.O.Value]
+		return g.byO[p[2]]
 	default:
-		return g.Triples()
+		return g.all
 	}
-}
-
-// matchesPattern reports whether ground triple t matches pattern p,
-// honouring repeated variables (e.g. (?x, r, ?x) only matches loops).
-func matchesPattern(p, t Triple) bool {
-	bind := map[string]string{}
-	pa, ta := p.Terms(), t.Terms()
-	for i := 0; i < 3; i++ {
-		switch {
-		case pa[i].IsIRI():
-			if pa[i] != ta[i] {
-				return false
-			}
-		default:
-			if prev, ok := bind[pa[i].Value]; ok {
-				if prev != ta[i].Value {
-					return false
-				}
-			} else {
-				bind[pa[i].Value] = ta[i].Value
-			}
-		}
-	}
-	return true
 }
 
 // MatchMappings returns, for a triple pattern t, the paper's base-case
-// evaluation ⟦t⟧G = {µ | dom(µ) = vars(t), µ(t) ∈ G}.
+// evaluation ⟦t⟧G = {µ | dom(µ) = vars(t), µ(t) ∈ G}. Deduplication
+// runs on encoded value vectors, not string keys.
 func (g *Graph) MatchMappings(p Triple) []Mapping {
-	var out []Mapping
-	seen := map[string]bool{}
-	for _, t := range g.Match(p) {
-		m := NewMapping()
-		pa, ta := p.Terms(), t.Terms()
-		for i := 0; i < 3; i++ {
-			if pa[i].IsVar() {
-				m[pa[i].Value] = ta[i].Value
+	var names [3]string // variable name per slot
+	var slot [3]int     // position → slot, or -1 for constants
+	n := 0
+	var ip IDTriple
+	for i, term := range p.Terms() {
+		if !term.IsVar() {
+			slot[i] = -1
+			id, ok := g.dict.LookupIRI(term.Value)
+			if !ok {
+				return nil
+			}
+			ip[i] = id
+			continue
+		}
+		s := -1
+		for j := 0; j < n; j++ {
+			if names[j] == term.Value {
+				s = j
+				break
 			}
 		}
-		k := m.Key()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, m)
+		if s < 0 {
+			names[n] = term.Value
+			s = n
+			n++
 		}
+		slot[i] = s
+		ip[i] = VarID(s)
+	}
+	var out []Mapping
+	seen := map[[3]TermID]struct{}{}
+	for _, t := range g.CandidatesID(ip) {
+		if !MatchesPatternID(ip, t) {
+			continue
+		}
+		var key [3]TermID
+		for i := 0; i < 3; i++ {
+			if slot[i] >= 0 {
+				key[slot[i]] = t[i]
+			}
+		}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		m := make(Mapping, n)
+		for j := 0; j < n; j++ {
+			m[names[j]] = g.dict.iris[key[j]]
+		}
+		out = append(out, m)
 	}
 	return out
 }
 
-// Clone returns a deep copy of the graph.
+// String renders the graph in the WriteGraph line format, in
+// deterministic order.
+func (g *Graph) String() string { return FormatGraph(g) }
+
+// Clone returns a deep copy of the graph. IDs are preserved: the
+// clone's dictionary assigns the same IDs to the same IRIs.
 func (g *Graph) Clone() *Graph {
 	out := NewGraph()
-	for t := range g.set {
-		out.Add(t)
+	out.dict = g.dict.Clone()
+	for _, t := range g.all {
+		out.addID(t)
 	}
 	return out
 }
 
 // Merge adds all triples of h into g.
 func (g *Graph) Merge(h *Graph) {
-	for t := range h.set {
-		g.Add(t)
+	for _, t := range h.all {
+		g.Add(h.dict.DecodeTriple(t))
 	}
 }
 
@@ -235,8 +439,8 @@ func (g *Graph) Equal(h *Graph) bool {
 	if g.Len() != h.Len() {
 		return false
 	}
-	for t := range g.set {
-		if !h.Contains(t) {
+	for _, t := range g.all {
+		if !h.Contains(g.dict.DecodeTriple(t)) {
 			return false
 		}
 	}

@@ -1,0 +1,289 @@
+// Agreement tests for the dictionary-encoded storage layer: the
+// ID-native Graph operations must coincide with the seed's string
+// semantics on randomized graphs. The package is rdf_test so that the
+// generators of internal/gen can be used without an import cycle.
+package rdf_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"wdsparql/internal/gen"
+	"wdsparql/internal/rdf"
+)
+
+// refMatch is the seed string semantics of pattern matching: position
+// equality for IRIs, repeated-variable consistency for variables.
+func refMatch(p, t rdf.Triple) bool {
+	bind := map[string]string{}
+	pa, ta := p.Terms(), t.Terms()
+	for i := 0; i < 3; i++ {
+		if pa[i].IsIRI() {
+			if pa[i] != ta[i] {
+				return false
+			}
+			continue
+		}
+		if prev, ok := bind[pa[i].Value]; ok {
+			if prev != ta[i].Value {
+				return false
+			}
+		} else {
+			bind[pa[i].Value] = ta[i].Value
+		}
+	}
+	return true
+}
+
+func tripleKey(t rdf.Triple) string {
+	return t.S.Value + "\x00" + t.P.Value + "\x00" + t.O.Value
+}
+
+// randPattern draws a pattern whose constants mostly occur in g (and
+// sometimes do not, exercising the dictionary-miss path), with
+// repeated variables at random.
+func randPattern(rng *rand.Rand, dom []string) rdf.Triple {
+	names := []string{"x", "y", "x", "z"} // "x" twice: repeats are common
+	term := func() rdf.Term {
+		switch rng.Intn(4) {
+		case 0:
+			return rdf.Var(names[rng.Intn(len(names))])
+		case 1:
+			return rdf.IRI("not-in-graph")
+		default:
+			return rdf.IRI(dom[rng.Intn(len(dom))])
+		}
+	}
+	return rdf.T(term(), term(), term())
+}
+
+func randGraph(rng *rand.Rand) *rdf.Graph {
+	switch rng.Intn(3) {
+	case 0:
+		return gen.Random(12, 40, 3, rng.Int63())
+	case 1:
+		return gen.Turan(8, 3, "r")
+	default:
+		return gen.SocialNetwork(10, rng.Int63())
+	}
+}
+
+// Match and MatchCount agree with a full scan under string semantics.
+func TestIDMatchAgreesWithStringSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		g := randGraph(rng)
+		dom := g.Dom()
+		pat := randPattern(rng, dom)
+
+		want := map[string]bool{}
+		for _, tr := range g.Triples() {
+			if refMatch(pat, tr) {
+				want[tripleKey(tr)] = true
+			}
+		}
+		got := map[string]bool{}
+		for _, tr := range g.Match(pat) {
+			if !g.Contains(tr) {
+				t.Fatalf("trial %d: Match returned %v ∉ G", trial, tr)
+			}
+			got[tripleKey(tr)] = true
+		}
+		if len(got) != len(want) || len(got) != len(g.Match(pat)) {
+			t.Fatalf("trial %d: pattern %v: got %d matches, want %d", trial, pat, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("trial %d: pattern %v: missing match %q", trial, pat, k)
+			}
+		}
+		if c := g.MatchCount(pat); c != len(want) {
+			t.Fatalf("trial %d: MatchCount = %d, want %d", trial, c, len(want))
+		}
+	}
+}
+
+// MatchMappings agrees with the reference definition
+// ⟦t⟧G = {µ | dom(µ) = vars(t), µ(t) ∈ G}.
+func TestIDMatchMappingsAgreesWithStringSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		g := randGraph(rng)
+		dom := g.Dom()
+		pat := randPattern(rng, dom)
+
+		want := map[string]bool{}
+		for _, tr := range g.Triples() {
+			if !refMatch(pat, tr) {
+				continue
+			}
+			m := rdf.NewMapping()
+			pa, ta := pat.Terms(), tr.Terms()
+			for i := 0; i < 3; i++ {
+				if pa[i].IsVar() {
+					m[pa[i].Value] = ta[i].Value
+				}
+			}
+			want[m.Key()] = true
+		}
+		got := g.MatchMappings(pat)
+		seen := map[string]bool{}
+		for _, m := range got {
+			if seen[m.Key()] {
+				t.Fatalf("trial %d: duplicate mapping %v", trial, m)
+			}
+			seen[m.Key()] = true
+			if !want[m.Key()] {
+				t.Fatalf("trial %d: unexpected mapping %v for %v", trial, m, pat)
+			}
+			// dom(µ) = vars(t).
+			if len(m) != len(pat.Vars()) {
+				t.Fatalf("trial %d: mapping domain %v ≠ vars(%v)", trial, m, pat)
+			}
+			if img := m.Apply(pat); !img.Ground() || !g.Contains(img) {
+				t.Fatalf("trial %d: µ(t) = %v ∉ G", trial, img)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: pattern %v: %d mappings, want %d", trial, pat, len(got), len(want))
+		}
+	}
+}
+
+// The ID-level API agrees with the string API: encodings round-trip
+// through the graph dictionary and the ID indexes see every triple.
+func TestIDAPIConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 50; trial++ {
+		g := randGraph(rng)
+		dict := g.Dict()
+		ids := g.TriplesID()
+		if len(ids) != g.Len() {
+			t.Fatalf("trial %d: TriplesID has %d entries, Len=%d", trial, len(ids), g.Len())
+		}
+		for _, id := range ids {
+			tr := dict.DecodeTriple(id)
+			if !g.Contains(tr) || !g.ContainsID(id) {
+				t.Fatalf("trial %d: %v in TriplesID but not in graph", trial, tr)
+			}
+			enc, ok := g.EncodePattern(tr)
+			if !ok || enc != id {
+				t.Fatalf("trial %d: EncodePattern(%v) = %v, want %v", trial, tr, enc, id)
+			}
+		}
+		// Dom and DomIDs name the same set.
+		domIDs := g.DomIDs()
+		asStrings := make([]string, len(domIDs))
+		for i, id := range domIDs {
+			asStrings[i] = dict.StringOf(id)
+		}
+		sort.Strings(asStrings)
+		dom := g.Dom()
+		if len(dom) != len(asStrings) {
+			t.Fatalf("trial %d: |Dom| = %d, |DomIDs| = %d", trial, len(dom), len(asStrings))
+		}
+		for i := range dom {
+			if dom[i] != asStrings[i] {
+				t.Fatalf("trial %d: Dom[%d] = %q, DomIDs decodes to %q", trial, i, dom[i], asStrings[i])
+			}
+		}
+	}
+}
+
+// Clone preserves triples, dictionary IDs, and independence.
+func TestIDGraphClone(t *testing.T) {
+	g := gen.Random(10, 30, 2, 5)
+	c := g.Clone()
+	if !g.Equal(c) || !c.Equal(g) {
+		t.Fatal("clone not equal")
+	}
+	for i, id := range g.TriplesID() {
+		if c.TriplesID()[i] != id {
+			t.Fatal("clone changed triple IDs")
+		}
+	}
+	c.AddTriple("fresh", "fresh", "fresh")
+	if g.Equal(c) || g.HasIRI("fresh") {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+// AddID round-trips through the dictionary and joins dom(G).
+func TestAddID(t *testing.T) {
+	g := rdf.NewGraph()
+	d := g.Dict()
+	a, r, b := d.InternIRI("a"), d.InternIRI("r"), d.InternIRI("b")
+	if g.HasIRI("a") {
+		t.Fatal("interning alone must not extend dom(G)")
+	}
+	g.AddID(rdf.IDTriple{a, r, b})
+	if !g.Contains(rdf.T(rdf.IRI("a"), rdf.IRI("r"), rdf.IRI("b"))) {
+		t.Fatal("AddID triple not visible through the string API")
+	}
+	if !g.HasIRI("a") || !g.HasIRI("r") || !g.HasIRI("b") || g.DomSize() != 3 {
+		t.Fatal("AddID must extend dom(G)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddID with a variable ID must panic")
+		}
+	}()
+	g.AddID(rdf.IDTriple{rdf.VarID(0), r, b})
+}
+
+// Posting lists returned by CandidatesID are complete (no matching
+// triple of G is missed) and duplicate-free.
+func TestCandidatesComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 30; trial++ {
+		g := randGraph(rng)
+		dom := g.Dom()
+		pat := randPattern(rng, dom)
+		ip, ok := g.EncodePattern(pat)
+		if !ok {
+			continue
+		}
+		cands := g.CandidatesID(ip)
+		inCands := map[rdf.IDTriple]bool{}
+		for _, c := range cands {
+			if inCands[c] {
+				t.Fatalf("trial %d: duplicate candidate %v", trial, c)
+			}
+			inCands[c] = true
+		}
+		for _, id := range g.TriplesID() {
+			if rdf.MatchesPatternID(ip, id) && !inCands[id] {
+				t.Fatalf("trial %d: candidate list missed %v", trial, id)
+			}
+		}
+	}
+}
+
+func BenchmarkIDMatchCount(b *testing.B) {
+	g := gen.Random(64, 1024, 4, 9)
+	pat, ok := g.EncodePattern(rdf.T(rdf.Var("s"), rdf.IRI("p0"), rdf.Var("o")))
+	if !ok {
+		b.Fatal("pattern constant missing")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.MatchCountID(pat) == 0 {
+			b.Fatal("expected matches")
+		}
+	}
+}
+
+func ExampleGraph_MatchMappings() {
+	g := rdf.GraphOf(
+		rdf.T(rdf.IRI("a"), rdf.IRI("knows"), rdf.IRI("b")),
+		rdf.T(rdf.IRI("b"), rdf.IRI("knows"), rdf.IRI("c")),
+	)
+	for _, m := range g.MatchMappings(rdf.T(rdf.Var("x"), rdf.IRI("knows"), rdf.Var("y"))) {
+		fmt.Println(m)
+	}
+	// Unordered output:
+	// {?x->a, ?y->b}
+	// {?x->b, ?y->c}
+}

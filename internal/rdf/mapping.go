@@ -193,20 +193,72 @@ func (m Mapping) String() string {
 }
 
 // MappingSet is a deduplicated collection of mappings, used to
-// represent evaluation results ⟦P⟧G.
+// represent evaluation results ⟦P⟧G. Deduplication keys are built from
+// dictionary-encoded (variable, value) ID pairs — sorting and packing
+// integers instead of concatenating sorted strings — with a private
+// Dict shared by all mappings in the set.
 type MappingSet struct {
+	dict  *Dict
 	byKey map[string]Mapping
 }
 
 // NewMappingSet returns an empty set.
 func NewMappingSet() *MappingSet {
-	return &MappingSet{byKey: map[string]Mapping{}}
+	return &MappingSet{dict: NewDict(), byKey: map[string]Mapping{}}
+}
+
+// key packs the mapping into a canonical byte string of sorted
+// (varID, valueID) pairs under the set's dictionary, interning any
+// new strings. Use only on the write path (Add).
+func (s *MappingSet) key(m Mapping) string {
+	pairs := make([]uint64, 0, 8)
+	for k, v := range m {
+		vid := uint64(s.dict.InternVar(k) - VarIDBase)
+		pairs = append(pairs, vid<<32|uint64(s.dict.InternIRI(v)))
+	}
+	return packPairs(pairs)
+}
+
+// lookupKey is key without interning: ok is false when some variable
+// or value is unknown to the set's dictionary, in which case the
+// mapping cannot be in the set. Safe for concurrent readers.
+func (s *MappingSet) lookupKey(m Mapping) (string, bool) {
+	pairs := make([]uint64, 0, 8)
+	for k, v := range m {
+		varID, ok := s.dict.LookupVar(k)
+		if !ok {
+			return "", false
+		}
+		valID, ok := s.dict.LookupIRI(v)
+		if !ok {
+			return "", false
+		}
+		pairs = append(pairs, uint64(varID-VarIDBase)<<32|uint64(valID))
+	}
+	return packPairs(pairs), true
+}
+
+func packPairs(pairs []uint64) string {
+	// Insertion sort: domains are small and this avoids the sort.Slice
+	// closure allocation.
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && pairs[j] < pairs[j-1]; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+	b := make([]byte, 0, len(pairs)*8)
+	for _, p := range pairs {
+		b = append(b,
+			byte(p), byte(p>>8), byte(p>>16), byte(p>>24),
+			byte(p>>32), byte(p>>40), byte(p>>48), byte(p>>56))
+	}
+	return string(b)
 }
 
 // Add inserts µ into the set; duplicates are ignored. It reports
 // whether the mapping was newly added.
 func (s *MappingSet) Add(m Mapping) bool {
-	k := m.Key()
+	k := s.key(m)
 	if _, ok := s.byKey[k]; ok {
 		return false
 	}
@@ -214,34 +266,43 @@ func (s *MappingSet) Add(m Mapping) bool {
 	return true
 }
 
-// Contains reports whether µ ∈ s.
+// Contains reports whether µ ∈ s. It never interns, so misses do not
+// grow the set's dictionary.
 func (s *MappingSet) Contains(m Mapping) bool {
-	_, ok := s.byKey[m.Key()]
-	return ok
+	k, ok := s.lookupKey(m)
+	if !ok {
+		return false
+	}
+	_, in := s.byKey[k]
+	return in
 }
 
 // Len returns the number of distinct mappings in the set.
 func (s *MappingSet) Len() int { return len(s.byKey) }
 
-// Slice returns the mappings in a deterministic order.
+// Slice returns the mappings in a deterministic order (sorted by the
+// canonical string key of each mapping; keys are computed once per
+// mapping, not per comparison).
 func (s *MappingSet) Slice() []Mapping {
-	keys := make([]string, 0, len(s.byKey))
-	for k := range s.byKey {
-		keys = append(keys, k)
+	type keyed struct {
+		key string
+		m   Mapping
 	}
-	sort.Strings(keys)
-	out := make([]Mapping, len(keys))
-	for i, k := range keys {
-		out[i] = s.byKey[k]
+	ks := make([]keyed, 0, len(s.byKey))
+	for _, m := range s.byKey {
+		ks = append(ks, keyed{key: m.Key(), m: m})
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	out := make([]Mapping, len(ks))
+	for i, k := range ks {
+		out[i] = k.m
 	}
 	return out
 }
 
 // AddAll inserts every mapping of t into s.
 func (s *MappingSet) AddAll(t *MappingSet) {
-	for k, v := range t.byKey {
-		if _, ok := s.byKey[k]; !ok {
-			s.byKey[k] = v
-		}
+	for _, m := range t.byKey {
+		s.Add(m)
 	}
 }
