@@ -11,9 +11,10 @@ vet:
 	$(GO) vet ./...
 
 # Headline perf trajectory: the E3 frontier benchmark (naive and pebble
-# series), recorded as go-test JSON events so the numbers are tracked
-# across PRs. Bump the artifact name (BENCH_<n>.json) per PR.
-BENCH_OUT ?= BENCH_1.json
+# series) plus the E9 enumeration benchmark (string pipeline vs
+# compiled rows), recorded as go-test JSON events so the numbers are
+# tracked across PRs. Bump the artifact name (BENCH_<n>.json) per PR.
+BENCH_OUT ?= BENCH_2.json
 bench:
-	$(GO) test -bench=E3 -benchmem -run='^$$' -json > $(BENCH_OUT)
+	$(GO) test -bench='E3|E9' -benchmem -run='^$$' -json > $(BENCH_OUT)
 	@grep 'ns/op' $(BENCH_OUT) | sed -E 's/.*"Output":"(.*)\\n".*/\1/; s/\\t/\t/g'

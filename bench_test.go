@@ -244,6 +244,51 @@ func BenchmarkEvalAll(b *testing.B) {
 	}
 }
 
+// BenchmarkE9TopDownEnum measures top-down enumeration of ⟦T⟧G on the
+// E9 workload (AND/OPT-dominated tree, Erdős–Rényi data): the string
+// pipeline (EnumerateTopDown on map mappings, the pre-row baseline)
+// against the compiled row pipeline, sequential and on a worker pool.
+// The headline numbers for the enumeration layer: time/op and
+// allocs/op of string vs rows in the same run.
+func BenchmarkE9TopDownEnum(b *testing.B) {
+	tr := bench.E9Tree()
+	f := ptree.Forest{tr}
+	g := bench.E9Data(128)
+	want := core.EnumerateTopDown(tr, g).Len()
+	if want == 0 {
+		b.Fatal("empty E9 workload")
+	}
+	b.Run("string", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if core.EnumerateTopDown(tr, g).Len() != want {
+				b.Fatal("solution count changed")
+			}
+		}
+	})
+	b.Run("rows", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if core.EnumerateTopDownForestID(f, g).Len() != want {
+				b.Fatal("solution count changed")
+			}
+		}
+	})
+	b.Run("rows-parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if core.EnumerateTopDownParallel(f, g, 4).Len() != want {
+				b.Fatal("solution count changed")
+			}
+		}
+	})
+	// The decode-at-the-boundary shim serving the string signature.
+	b.Run("rows-decoded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if core.EnumerateTopDownForest(f, g).Len() != want {
+				b.Fatal("solution count changed")
+			}
+		}
+	})
+}
+
 // BenchmarkMicroHomSolver measures the raw homomorphism solver on
 // path queries (ablation baseline for the join-ordering heuristic).
 func BenchmarkMicroHomSolver(b *testing.B) {

@@ -114,11 +114,21 @@ func A3ExactTreewidth(kMax int) *Table {
 	return t
 }
 
+// AblationExperiments returns the ablation suite lazily.
+func AblationExperiments() []Experiment {
+	return []Experiment{
+		{"A1", func() *Table { return A1FailFirst([]int{3, 4, 5}, 15) }},
+		{"A2", func() *Table { return A2UnaryPruning([]int{3, 4, 5}, 24) }},
+		{"A3", func() *Table { return A3ExactTreewidth(7) }},
+	}
+}
+
 // Ablations runs the ablation suite.
 func Ablations() []*Table {
-	return []*Table{
-		A1FailFirst([]int{3, 4, 5}, 15),
-		A2UnaryPruning([]int{3, 4, 5}, 24),
-		A3ExactTreewidth(7),
+	specs := AblationExperiments()
+	out := make([]*Table, len(specs))
+	for i, s := range specs {
+		out[i] = s.Run()
 	}
+	return out
 }

@@ -157,9 +157,24 @@ func TestE8Agreement(t *testing.T) {
 	}
 }
 
+func TestE9Agreement(t *testing.T) {
+	tbl := E9Enumeration([]int{32, 64}, 2)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[2] == "0" {
+			t.Fatalf("E9 must enumerate a non-empty result: %v", row)
+		}
+		if row[len(row)-1] != "true" {
+			t.Fatalf("string and row pipelines must agree: %v", row)
+		}
+	}
+}
+
 func TestSuiteComposition(t *testing.T) {
 	tables := Suite(false)
-	if len(tables) != 8 {
+	if len(tables) != 9 {
 		t.Fatalf("suite size: %d", len(tables))
 	}
 	ids := map[string]bool{}
@@ -174,7 +189,7 @@ func TestSuiteComposition(t *testing.T) {
 			}
 		}
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} {
 		if !ids[id] {
 			t.Fatalf("missing %s", id)
 		}

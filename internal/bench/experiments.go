@@ -262,6 +262,122 @@ func E8BatchEval(k, n, workers int) *Table {
 	return t
 }
 
+// E9Tree builds the enumeration-throughput workload: a wdPT in the
+// AND/OPT-dominated shape of real SPARQL logs (Han et al.) — a root
+// edge with one optional two-step chain and one optional attribute
+// arm, so per-root solutions combine by cross product and solutions
+// have mixed domains (unbound slots).
+//
+//	      {?x p0 ?y}
+//	      /        \
+//	{?y p1 ?z}   {?y p3 ?w}
+//	     |
+//	{?z p2 ?u}
+func E9Tree() *ptree.Tree {
+	v := rdf.Var
+	i := rdf.IRI
+	return ptree.FromSpec(ptree.Spec{
+		Pattern: []rdf.Triple{rdf.T(v("x"), i("p0"), v("y"))},
+		Children: []ptree.Spec{
+			{
+				Pattern: []rdf.Triple{rdf.T(v("y"), i("p1"), v("z"))},
+				Children: []ptree.Spec{
+					{Pattern: []rdf.Triple{rdf.T(v("z"), i("p2"), v("u"))}},
+				},
+			},
+			{Pattern: []rdf.Triple{rdf.T(v("y"), i("p3"), v("w"))}},
+		},
+	})
+}
+
+// E9Data builds the E9 graph: an Erdős–Rényi graph over 4 predicates.
+func E9Data(n int) *rdf.Graph {
+	return gen.Random(n, 4*n, 4, 7)
+}
+
+// E9 measures top-down enumeration throughput: the string pipeline
+// (EnumerateTopDown on map mappings) against the compiled row pipeline
+// (EnumerateTopDownForestID), sequential and on a worker pool, with
+// rows/sec for the row pipeline. The verdict column checks that the
+// decoded rows coincide with the string result.
+func E9Enumeration(ns []int, workers int) *Table {
+	t := &Table{
+		ID:    "E9",
+		Title: "top-down enumeration throughput: string vs compiled rows",
+		Claim: "row pipeline beats string mappings; -workers partitions across root rows (gains need >1 CPU)",
+		Header: []string{"n", "|G|", "rows", "string", "rows(ID)", "rows/s",
+			fmt.Sprintf("parallel(workers=%d)", workers), "agree"},
+	}
+	tree := E9Tree()
+	f := ptree.Forest{tree}
+	for _, n := range ns {
+		g := E9Data(n)
+		var want *rdf.MappingSet
+		dStr := timed(func() { want = core.EnumerateTopDown(tree, g) })
+		var idSet *rdf.IDMappingSet
+		dID := timed(func() { idSet = core.EnumerateTopDownForestID(f, g) })
+		var parSet *rdf.IDMappingSet
+		dPar := timed(func() { parSet = core.EnumerateTopDownParallel(f, g, workers) })
+		agree := idSet.Len() == want.Len() && parSet.Len() == want.Len()
+		if agree {
+			// Parallel must reproduce the sequential rows exactly
+			// (same content and insertion order), and the decoded rows
+			// must coincide with the string pipeline's mappings.
+			for i := 0; i < idSet.Len() && agree; i++ {
+				a, b := idSet.Row(i), parSet.Row(i)
+				for j := range a {
+					if a[j] != b[j] {
+						agree = false
+						break
+					}
+				}
+			}
+			decoded := idSet.Decode(g.Dict())
+			for _, mu := range want.Slice() {
+				if !decoded.Contains(mu) {
+					agree = false
+					break
+				}
+			}
+		}
+		rps := "-"
+		if s := dID.Seconds(); s > 0 {
+			rps = fmt.Sprintf("%.0f", float64(idSet.Len())/s)
+		}
+		t.AddRow(fmt.Sprint(n), fmt.Sprint(g.Len()), fmt.Sprint(idSet.Len()),
+			ms(dStr), ms(dID), rps, ms(dPar), fmt.Sprint(agree))
+	}
+	return t
+}
+
+// Experiment is a named, lazily-run experiment: Run executes the
+// sweeps and builds the table. Callers that only want some experiments
+// (wdbench -only, profiling runs) filter by ID before paying for
+// execution.
+type Experiment struct {
+	ID  string
+	Run func() *Table
+}
+
+// Experiments returns the E1..E9 suite as lazily-run experiments.
+func Experiments(full bool, workers int) []Experiment {
+	e3Max := 6
+	if full {
+		e3Max = 7
+	}
+	return []Experiment{
+		{"E1", func() *Table { return E1CoreTreewidth(7) }},
+		{"E2", func() *Table { return E2DominationWidth(5) }},
+		{"E3", func() *Table { return E3BoundedDW(e3Max, 24) }},
+		{"E4", func() *Table { return E4BranchTreewidth(7, 24) }},
+		{"E5", func() *Table { return E5CliqueReduction([]int{2, 3}, []int{6, 10, 14}, 42) }},
+		{"E6", func() *Table { return E6PebbleVsHom([]int{3, 4, 5}, 15) }},
+		{"E7", func() *Table { return E7DataScaling(3, []int{12, 24, 48, 96, 192}) }},
+		{"E8", func() *Table { return E8BatchEval(3, 24, workers) }},
+		{"E9", func() *Table { return E9Enumeration([]int{64, 128, 256}, workers) }},
+	}
+}
+
 // Suite runs the experiment suite. With full=false the sweeps stop
 // where every row completes in at most a few seconds; full=true
 // extends E3 into the regime where the natural algorithm needs tens of
@@ -271,20 +387,12 @@ func Suite(full bool) []*Table {
 }
 
 // SuiteWorkers is Suite with an explicit worker count for the batched
-// experiment E8.
+// (E8) and enumeration (E9) experiments.
 func SuiteWorkers(full bool, workers int) []*Table {
-	e3Max := 6
-	if full {
-		e3Max = 7
+	specs := Experiments(full, workers)
+	out := make([]*Table, len(specs))
+	for i, s := range specs {
+		out[i] = s.Run()
 	}
-	return []*Table{
-		E1CoreTreewidth(7),
-		E2DominationWidth(5),
-		E3BoundedDW(e3Max, 24),
-		E4BranchTreewidth(7, 24),
-		E5CliqueReduction([]int{2, 3}, []int{6, 10, 14}, 42),
-		E6PebbleVsHom([]int{3, 4, 5}, 15),
-		E7DataScaling(3, []int{12, 24, 48, 96, 192}),
-		E8BatchEval(3, 24, workers),
-	}
+	return out
 }

@@ -60,7 +60,19 @@ func M1Enumeration() *Table {
 	return t
 }
 
+// MicroExperiments returns the micro-benchmark suite lazily.
+func MicroExperiments() []Experiment {
+	return []Experiment{
+		{"M1", func() *Table { return M1Enumeration() }},
+	}
+}
+
 // Micro runs the micro-benchmark suite.
 func Micro() []*Table {
-	return []*Table{M1Enumeration()}
+	specs := MicroExperiments()
+	out := make([]*Table, len(specs))
+	for i, s := range specs {
+		out[i] = s.Run()
+	}
+	return out
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 
 	"wdsparql/internal/hom"
@@ -33,6 +32,13 @@ type Evaluator struct {
 
 	mu    sync.Mutex
 	plans map[string][]treePlan
+	// Plan-key scratch, guarded by mu: domains are canonicalised by
+	// sorting interned variable IDs into a reused buffer and packing
+	// them into reused key bytes — no per-Eval string sorting, and an
+	// allocation only when a genuinely new domain is cached.
+	keyDict  *rdf.Dict
+	keyIDs   []rdf.TermID
+	keyBytes []byte
 }
 
 // treePlan is the domain-dependent (µ-independent) part of evaluating
@@ -56,28 +62,37 @@ func NewEvaluator(alg Algorithm, k int, f ptree.Forest, g *rdf.Graph) *Evaluator
 	if alg == AlgPebble && k < 1 {
 		panic(fmt.Sprintf("core: NewEvaluator with AlgPebble requires k ≥ 1, got %d", k))
 	}
-	return &Evaluator{alg: alg, k: k, f: f, g: g, plans: map[string][]treePlan{}}
-}
-
-// domKey canonicalises dom(µ) to a cache key.
-func domKey(dom []rdf.Term) string {
-	var b strings.Builder
-	for _, v := range dom {
-		b.WriteString(v.Value)
-		b.WriteByte(0)
-	}
-	return b.String()
+	return &Evaluator{alg: alg, k: k, f: f, g: g, plans: map[string][]treePlan{}, keyDict: rdf.NewDict()}
 }
 
 // plansFor returns (building if needed) the per-tree plans for the
 // given mapping domain.
 func (e *Evaluator) plansFor(dom []rdf.Term) []treePlan {
-	key := domKey(dom)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if ps, ok := e.plans[key]; ok {
+	// Canonicalise dom(µ): intern each variable in the evaluator's
+	// private dictionary, insertion-sort the IDs (domains are small)
+	// and pack them little-endian into the key buffer. The map lookup
+	// below does not allocate; the key string is materialised only on
+	// the build path.
+	ids := e.keyIDs[:0]
+	for _, v := range dom {
+		ids = append(ids, e.keyDict.InternVar(v.Value))
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	kb := e.keyBytes[:0]
+	for _, id := range ids {
+		kb = rdf.AppendIDLE(kb, id)
+	}
+	e.keyIDs, e.keyBytes = ids, kb
+	if ps, ok := e.plans[string(kb)]; ok {
 		return ps
 	}
+	key := string(kb)
 	ps := make([]treePlan, len(e.f))
 	for i, t := range e.f {
 		s, ok := ptree.WitnessSubtree(t, dom)
@@ -161,14 +176,10 @@ func (e *Evaluator) EvalAllParallel(mus []rdf.Mapping, workers int) []bool {
 		workers = len(mus)
 	}
 	// Warm the plan cache for every distinct domain up front so
-	// workers contend only on cache hits.
-	seen := map[string]bool{}
+	// workers contend only on cache hits (plansFor dedups internally
+	// and repeated hits are allocation-free).
 	for _, mu := range mus {
-		dom := mu.Dom()
-		if key := domKey(dom); !seen[key] {
-			seen[key] = true
-			e.plansFor(dom)
-		}
+		e.plansFor(mu.Dom())
 	}
 	out := make([]bool, len(mus))
 	next := make(chan int)

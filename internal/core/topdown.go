@@ -21,7 +21,11 @@ import (
 // number of subtrees. It is cross-validated against Enumerate and the
 // compositional semantics in the test suite.
 
-// EnumerateTopDown computes ⟦T⟧G by the top-down procedure.
+// EnumerateTopDown computes ⟦T⟧G by the top-down procedure, on string
+// mappings. It is kept as the cross-validation reference and the perf
+// baseline for the compiled row pipeline of topdownid.go (experiment
+// E9); production callers go through EnumerateTopDownForest / Count /
+// the *ID entry points, which run on rows.
 func EnumerateTopDown(t *ptree.Tree, g *rdf.Graph) *rdf.MappingSet {
 	out := rdf.NewMappingSet()
 	for _, mu := range hom.FindAll(t.Root.Pattern, g, 0) {
@@ -32,18 +36,16 @@ func EnumerateTopDown(t *ptree.Tree, g *rdf.Graph) *rdf.MappingSet {
 	return out
 }
 
-// EnumerateTopDownForest computes ⟦F⟧G = ⋃ ⟦Ti⟧G.
+// EnumerateTopDownForest computes ⟦F⟧G = ⋃ ⟦Ti⟧G. It runs on the
+// compiled row pipeline and decodes at the boundary; the signature is
+// unchanged for existing callers.
 func EnumerateTopDownForest(f ptree.Forest, g *rdf.Graph) *rdf.MappingSet {
-	out := rdf.NewMappingSet()
-	for _, t := range f {
-		out.AddAll(EnumerateTopDown(t, g))
-	}
-	return out
+	return EnumerateTopDownForestID(f, g).Decode(g.Dict())
 }
 
-// Count returns |⟦F⟧G|.
+// Count returns |⟦F⟧G|, counted on rows without decoding any term.
 func Count(f ptree.Forest, g *rdf.Graph) int {
-	return EnumerateTopDownForest(f, g).Len()
+	return EnumerateTopDownForestID(f, g).Len()
 }
 
 // extendThrough returns the maximal extensions of µ through the given

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"wdsparql/internal/hom"
+	"wdsparql/internal/ptree"
+	"wdsparql/internal/rdf"
+)
+
+// This file is the ID-native, compiled, streaming counterpart of
+// topdown.go: the same top-down procedure behind Lemma 1, but with the
+// whole forest compiled once against the graph (per-node RowPrograms
+// over one shared SlotLayout) and partial solutions carried as flat
+// rdf.Rows instead of string mappings. Extensions through a child bind
+// slots in place and are undone on backtrack; per-child solution sets
+// are combined slot-wise (the cross product of the string pipeline,
+// without any map unions); and results stream through a pull-based
+// yield so callers can stop after a limit without materialising ⟦T⟧G.
+// EnumerateTopDownForest and Count are decode-at-the-boundary shims
+// over this pipeline; EnumerateTopDown keeps the original string
+// implementation as the cross-validation reference and perf baseline.
+
+// compiledNode is one wdPT node compiled for row enumeration.
+type compiledNode struct {
+	idx      int // dense index across the whole forest compilation
+	prog     *hom.RowProgram
+	children []*compiledNode
+	// subSlots are the layout slots of vars(subtree rooted here),
+	// sorted ascending: exactly the slots a maximal extension through
+	// this child may bind beyond the current partial solution.
+	subSlots []int32
+}
+
+// ForestProgram is a wdPF compiled for repeated row enumeration
+// against one graph. The program is immutable after CompileForest and
+// safe for concurrent use: every enumeration (and every parallel
+// worker) runs on its own enumState.
+type ForestProgram struct {
+	g      *rdf.Graph
+	layout *rdf.SlotLayout
+	roots  []*compiledNode
+	nodes  int
+}
+
+// CompileForest compiles every tree of the forest against the graph,
+// assigning all forest variables dense slots in one shared layout (so
+// rows of different trees dedup in a single key space).
+func CompileForest(f ptree.Forest, g *rdf.Graph) *ForestProgram {
+	fp := &ForestProgram{g: g, layout: rdf.NewSlotLayout()}
+	for _, t := range f {
+		fp.roots = append(fp.roots, fp.compileNode(t.Root))
+	}
+	return fp
+}
+
+// CompileTree compiles a single tree (a one-tree forest program).
+func CompileTree(t *ptree.Tree, g *rdf.Graph) *ForestProgram {
+	return CompileForest(ptree.Forest{t}, g)
+}
+
+func (fp *ForestProgram) compileNode(n *ptree.Node) *compiledNode {
+	cn := &compiledNode{
+		idx:  fp.nodes,
+		prog: hom.CompileRowProgram(n.Pattern, fp.g, fp.layout),
+	}
+	fp.nodes++
+	slots := map[int32]bool{}
+	for _, v := range n.Vars() {
+		slots[int32(fp.layout.Intern(v.Value))] = true
+	}
+	for _, c := range n.Children {
+		cc := fp.compileNode(c)
+		cn.children = append(cn.children, cc)
+		for _, s := range cc.subSlots {
+			slots[s] = true
+		}
+	}
+	cn.subSlots = make([]int32, 0, len(slots))
+	for s := range slots {
+		cn.subSlots = append(cn.subSlots, s)
+	}
+	sort.Slice(cn.subSlots, func(i, j int) bool { return cn.subSlots[i] < cn.subSlots[j] })
+	return cn
+}
+
+// Layout returns the forest's slot layout (complete after compilation).
+func (fp *ForestProgram) Layout() *rdf.SlotLayout { return fp.layout }
+
+// enumState is the per-enumeration scratch: one RowSearcher per node
+// and the single row the partial solution lives in.
+type enumState struct {
+	fp        *ForestProgram
+	searchers []*hom.RowSearcher
+	row       rdf.Row
+}
+
+func (fp *ForestProgram) newState() *enumState {
+	st := &enumState{
+		fp:        fp,
+		searchers: make([]*hom.RowSearcher, fp.nodes),
+		row:       fp.layout.NewRow(),
+	}
+	var walk func(n *compiledNode)
+	walk = func(n *compiledNode) {
+		st.searchers[n.idx] = n.prog.NewSearcher()
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	for _, r := range fp.roots {
+		walk(r)
+	}
+	return st
+}
+
+// enumerateTree streams ⟦T⟧G for one tree: every maximal extension of
+// every root homomorphism. It reports whether enumeration ran to
+// exhaustion (false: yield stopped it). The row passed to yield is the
+// state's working row — valid only during the call.
+//
+// For trees satisfying the wdPT connectivity condition (in particular
+// everything ptree.WDPF produces) the streamed rows are pairwise
+// distinct: root homomorphisms differ on root slots, extensions of one
+// base through a child differ on the child's fresh slots, and distinct
+// children bind disjoint fresh slots.
+func (st *enumState) enumerateTree(root *compiledNode, yield func(rdf.Row) bool) bool {
+	st.fp.layout.Reset(st.row)
+	return st.searchers[root.idx].Run(st.row, func() bool {
+		return st.extendThrough(root.children, 0, yield)
+	})
+}
+
+// extendThrough extends the current row maximally through the children
+// cs[i:]: a child with no compatible extension is skipped (it never
+// blocks maximality), a child with extensions MUST be extended, and
+// per-child solution sets combine by cross product — realised here by
+// binding each solution's slots in place and recursing to the next
+// child.
+func (st *enumState) extendThrough(cs []*compiledNode, i int, yield func(rdf.Row) bool) bool {
+	if i == len(cs) {
+		return yield(st.row)
+	}
+	c := cs[i]
+	sols := st.childSolutions(c)
+	if len(sols) == 0 {
+		return st.extendThrough(cs, i+1, yield)
+	}
+	row := st.row
+	for _, vals := range sols {
+		// Bind the slots this solution adds over the current row. By
+		// connectivity the solutions of later children touch disjoint
+		// fresh slots, so binding is the slot-wise cross product.
+		for j, s := range c.subSlots {
+			if vals[j] != rdf.Unbound && row[s] == rdf.Unbound {
+				row[s] = vals[j]
+			} else {
+				vals[j] = rdf.Unbound // mark: not bound by this application
+			}
+		}
+		more := st.extendThrough(cs, i+1, yield)
+		for j, s := range c.subSlots {
+			if vals[j] != rdf.Unbound {
+				row[s] = rdf.Unbound
+			}
+		}
+		if !more {
+			return false
+		}
+	}
+	return true
+}
+
+// childSolutions materialises the maximal solutions contributed by
+// child c under the current row: for each homomorphic extension ν of
+// pat(c) (bound slots act as constants), the recursive maximal
+// extensions through c's children. Each solution is the snapshot of
+// the row's values over c.subSlots.
+func (st *enumState) childSolutions(c *compiledNode) [][]rdf.TermID {
+	var out [][]rdf.TermID
+	st.searchers[c.idx].Run(st.row, func() bool {
+		st.extendThrough(c.children, 0, func(rdf.Row) bool {
+			snap := make([]rdf.TermID, len(c.subSlots))
+			for j, s := range c.subSlots {
+				snap[j] = st.row[s]
+			}
+			out = append(out, snap)
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// Rows streams ⟦F⟧G: every solution row exactly once, until yield
+// returns false. Rows passed to yield are only valid during the call
+// (copy to retain). Single-tree forests stream with no dedup state;
+// multi-tree forests filter duplicates across trees through an
+// IDMappingSet of the rows already emitted.
+func (fp *ForestProgram) Rows(yield func(rdf.Row) bool) {
+	st := fp.newState()
+	if len(fp.roots) == 1 {
+		st.enumerateTree(fp.roots[0], yield)
+		return
+	}
+	seen := rdf.NewIDMappingSet(fp.layout, fp.g.Dict().NumIRIs())
+	for _, root := range fp.roots {
+		if !st.enumerateTree(root, func(r rdf.Row) bool {
+			if !seen.Add(r) {
+				return true // duplicate across trees
+			}
+			return yield(r)
+		}) {
+			return
+		}
+	}
+}
+
+// EnumerateSet materialises ⟦F⟧G as a deduplicated row set.
+func (fp *ForestProgram) EnumerateSet() *rdf.IDMappingSet {
+	out := rdf.NewIDMappingSet(fp.layout, fp.g.Dict().NumIRIs())
+	st := fp.newState()
+	for _, root := range fp.roots {
+		st.enumerateTree(root, func(r rdf.Row) bool {
+			out.Add(r)
+			return true
+		})
+	}
+	return out
+}
+
+// EnumerateParallel materialises ⟦F⟧G with the per-tree enumeration
+// work partitioned across root-homomorphism rows on a worker pool.
+// workers ≤ 1 degrades to EnumerateSet. The result is identical to
+// EnumerateSet, including insertion order (work items are merged in
+// their sequential order).
+func (fp *ForestProgram) EnumerateParallel(workers int) *rdf.IDMappingSet {
+	if workers <= 1 {
+		return fp.EnumerateSet()
+	}
+	// Materialise the root rows of every tree: they partition the
+	// enumeration into independent units.
+	type item struct {
+		root *compiledNode
+		row  rdf.Row
+	}
+	var items []item
+	st := fp.newState()
+	for _, root := range fp.roots {
+		row := fp.layout.NewRow()
+		st.searchers[root.idx].Run(row, func() bool {
+			items = append(items, item{root: root, row: row.Clone()})
+			return true
+		})
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	results := make([][]rdf.Row, len(items))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := fp.newState()
+			for i := range next {
+				copy(ws.row, items[i].row)
+				var local []rdf.Row
+				ws.extendThrough(items[i].root.children, 0, func(r rdf.Row) bool {
+					local = append(local, r.Clone())
+					return true
+				})
+				results[i] = local
+			}
+		}()
+	}
+	for i := range items {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	out := rdf.NewIDMappingSet(fp.layout, fp.g.Dict().NumIRIs())
+	for _, rows := range results {
+		for _, r := range rows {
+			out.Add(r)
+		}
+	}
+	return out
+}
+
+// EnumerateTopDownID computes ⟦T⟧G as rows by the compiled top-down
+// procedure; the returned set carries the tree's slot layout.
+func EnumerateTopDownID(t *ptree.Tree, g *rdf.Graph) *rdf.IDMappingSet {
+	return CompileTree(t, g).EnumerateSet()
+}
+
+// EnumerateTopDownForestID computes ⟦F⟧G as rows.
+func EnumerateTopDownForestID(f ptree.Forest, g *rdf.Graph) *rdf.IDMappingSet {
+	return CompileForest(f, g).EnumerateSet()
+}
+
+// EnumerateTopDownParallel computes ⟦F⟧G as rows on a worker pool,
+// partitioned across root-homomorphism rows.
+func EnumerateTopDownParallel(f ptree.Forest, g *rdf.Graph, workers int) *rdf.IDMappingSet {
+	return CompileForest(f, g).EnumerateParallel(workers)
+}

@@ -1,0 +1,243 @@
+package hom
+
+import (
+	"wdsparql/internal/rdf"
+)
+
+// This file is the row-native face of the homomorphism solver: the
+// same compiled backtracking search as solver.go, but with variables
+// carrying caller-assigned global slots (an rdf.SlotLayout shared by a
+// whole pattern tree) and matches emitted directly as bindings into a
+// caller-provided flat row — no rdf.Mapping is built and no string is
+// decoded. This is what the top-down enumeration of ⟦T⟧G streams
+// solutions out of: the partial solution accumulated down a wdPT
+// branch *is* the row, bound slots act as constants of the search
+// (the paper's "extends µ" side condition), and newly matched slots
+// are written in place and undone on backtrack.
+
+// RowProgram is a set of triple patterns compiled once against a graph
+// and a slot layout: variables become layout slots, IRI constants
+// become TermIDs. The program is immutable after compilation and safe
+// for concurrent use through per-goroutine RowSearchers.
+type RowProgram struct {
+	g      *rdf.Graph
+	pats   []cpat
+	width  int  // minimum row length: 1 + highest slot referenced
+	absent bool // some constant is not in g: no matches
+}
+
+// CompileRowProgram compiles the patterns, interning their variables
+// into the layout. Patterns whose constants are unknown to the graph's
+// dictionary yield a program with no matches.
+func CompileRowProgram(pats []rdf.Triple, g *rdf.Graph, layout *rdf.SlotLayout) *RowProgram {
+	p := &RowProgram{g: g, pats: make([]cpat, len(pats))}
+	dict := g.Dict()
+	for pi, pat := range pats {
+		for i, term := range pat.Terms() {
+			if term.IsVar() {
+				slot := layout.Intern(term.Value)
+				if slot+1 > p.width {
+					p.width = slot + 1
+				}
+				p.pats[pi].code[i] = int32(slot)
+				continue
+			}
+			id, ok := dict.LookupIRI(term.Value)
+			if !ok {
+				p.absent = true
+			}
+			p.pats[pi].code[i] = ^int32(id)
+		}
+	}
+	return p
+}
+
+// Width returns the minimum row length the program's Run accepts.
+func (p *RowProgram) Width() int { return p.width }
+
+// RowSearcher carries the mutable scratch of one search over a
+// RowProgram (pattern done-flags and per-depth candidate buffers).
+// A searcher is not safe for concurrent use, but is reusable across
+// any number of sequential Run calls; parallel enumeration gives each
+// worker its own searcher over the shared program.
+type RowSearcher struct {
+	prog   *RowProgram
+	done   []bool
+	bufs   [][]scoredCand
+	assign rdf.Row // the caller's row, during Run
+}
+
+// NewSearcher returns a fresh searcher for the program.
+func (p *RowProgram) NewSearcher() *RowSearcher {
+	return &RowSearcher{
+		prog: p,
+		done: make([]bool, len(p.pats)),
+		bufs: make([][]scoredCand, len(p.pats)),
+	}
+}
+
+// Run enumerates all homomorphisms from the program's patterns into
+// its graph that extend the partial row assign: slots already bound in
+// assign are constants of the search, and every complete match is
+// written into assign before yield is called (and undone afterwards,
+// so assign is exactly restored when Run returns). yield must copy the
+// row if it needs it beyond the call. Run reports whether the search
+// ran to exhaustion; false means yield stopped it early.
+//
+// An empty pattern set admits exactly the empty extension (one yield).
+func (s *RowSearcher) Run(assign rdf.Row, yield func() bool) bool {
+	p := s.prog
+	if len(assign) < p.width {
+		panic("hom: RowSearcher.Run: row narrower than the compiled program")
+	}
+	if p.absent && len(p.pats) > 0 {
+		return true
+	}
+	s.assign = assign
+	ok := s.rec(len(p.pats), yield)
+	s.assign = nil
+	return ok
+}
+
+// substituteRow renders pattern i under the current row: bound slots
+// and constants become IRI IDs, unbound slots become their per-slot
+// variable IDs (repeated variables stay linked through the shared
+// slot).
+func (s *RowSearcher) substituteRow(i int) rdf.IDTriple {
+	var out rdf.IDTriple
+	cp := &s.prog.pats[i]
+	for pos := 0; pos < 3; pos++ {
+		c := cp.code[pos]
+		if c < 0 {
+			out[pos] = rdf.TermID(^c)
+			continue
+		}
+		if v := s.assign[c]; v != rdf.Unbound {
+			out[pos] = v
+		} else {
+			out[pos] = rdf.VarID(int(c))
+		}
+	}
+	return out
+}
+
+// rec mirrors search.rec in solver.go: expand the remaining pattern
+// with the fewest matches (fail-first), order its candidates
+// succeed-first, bind the newly determined slots in place.
+func (s *RowSearcher) rec(remaining int, yield func() bool) bool {
+	if remaining == 0 {
+		return yield()
+	}
+	g := s.prog.g
+	best, bestCount := -1, -1
+	var bestPat rdf.IDTriple
+	for i := range s.prog.pats {
+		if s.done[i] {
+			continue
+		}
+		p := s.substituteRow(i)
+		c := g.MatchCountID(p)
+		if c == 0 {
+			return true // dead branch
+		}
+		if best == -1 || c < bestCount {
+			best, bestCount, bestPat = i, c, p
+			if c == 1 {
+				break
+			}
+		}
+	}
+	s.done[best] = true
+	cp := &s.prog.pats[best]
+	depth := len(s.prog.pats) - remaining
+	cands := s.bufs[depth][:0]
+	for _, t := range g.CandidatesID(bestPat) {
+		if !rdf.MatchesPatternID(bestPat, t) {
+			continue
+		}
+		var score int64
+		for pos := 0; pos < 3; pos++ {
+			if c := cp.code[pos]; c >= 0 && s.assign[c] == rdf.Unbound {
+				if s.rowInImage(t[pos], bestPat) {
+					score += reuseBonus
+				}
+				score += int64(g.OccurrencesID(t[pos]))
+			}
+		}
+		cands = append(cands, scoredCand{t: t, score: score})
+	}
+	s.bufs[depth] = cands
+	if len(cands) > 1 {
+		sortCands(cands)
+	}
+	for _, sc := range cands {
+		t := sc.t
+		var newSlots [3]int32
+		n := 0
+		for pos := 0; pos < 3; pos++ {
+			c := cp.code[pos]
+			if c >= 0 && s.assign[c] == rdf.Unbound {
+				s.assign[c] = t[pos]
+				newSlots[n] = c
+				n++
+			}
+		}
+		more := s.rec(remaining-1, yield)
+		for j := 0; j < n; j++ {
+			s.assign[newSlots[j]] = rdf.Unbound
+		}
+		if !more {
+			s.done[best] = false
+			return false
+		}
+	}
+	s.done[best] = false
+	return true
+}
+
+// rowInImage reports whether the value is already in the image of the
+// partial solution row (any bound slot) or a constant of the pattern
+// being expanded; see search.inImage for the value-ordering rationale.
+func (s *RowSearcher) rowInImage(v rdf.TermID, pat rdf.IDTriple) bool {
+	for _, a := range s.assign {
+		if a == v {
+			return true
+		}
+	}
+	for _, p := range pat {
+		if p == v {
+			return true
+		}
+	}
+	return false
+}
+
+// FindAllID returns all homomorphisms from pats to g as rows under the
+// layout (interning any new pattern variables), up to limit (≤ 0 means
+// no limit). Slots of the layout outside vars(pats) are Unbound.
+func FindAllID(pats []rdf.Triple, g *rdf.Graph, layout *rdf.SlotLayout, limit int) []rdf.Row {
+	prog := CompileRowProgram(pats, g, layout)
+	return collectRows(prog, layout.NewRow(), limit)
+}
+
+// FindAllExtendingID returns all homomorphism rows extending the
+// partial row base — the row-native (S, dom(µ)) →µ G of the paper —
+// including base's bindings in every result. base must have been built
+// against the same layout; it is not modified.
+func FindAllExtendingID(pats []rdf.Triple, g *rdf.Graph, layout *rdf.SlotLayout, base rdf.Row, limit int) []rdf.Row {
+	prog := CompileRowProgram(pats, g, layout)
+	// Compiling may have interned fresh variables past base's width;
+	// search on a widened copy so base stays untouched.
+	row := layout.NewRow()
+	copy(row, base)
+	return collectRows(prog, row, limit)
+}
+
+func collectRows(prog *RowProgram, row rdf.Row, limit int) []rdf.Row {
+	var out []rdf.Row
+	prog.NewSearcher().Run(row, func() bool {
+		out = append(out, row.Clone())
+		return limit <= 0 || len(out) < limit
+	})
+	return out
+}

@@ -1,0 +1,146 @@
+package hom
+
+import (
+	"math/rand"
+	"testing"
+
+	"wdsparql/internal/rdf"
+)
+
+// The row-native solver must agree exactly with the string solver: for
+// random patterns over random graphs, FindAllID decoded equals
+// FindAll, and FindAllExtendingID respects base-row bindings the way
+// FindExtending respects µ.
+
+func randRowGraph(rng *rand.Rand) *rdf.Graph {
+	g := rdf.NewGraph()
+	nodes := []string{"a", "b", "c", "d", "e"}
+	preds := []string{"p", "q"}
+	n := 5 + rng.Intn(10)
+	for i := 0; i < n; i++ {
+		g.AddTriple(nodes[rng.Intn(len(nodes))], preds[rng.Intn(len(preds))], nodes[rng.Intn(len(nodes))])
+	}
+	return g
+}
+
+func randRowPats(rng *rand.Rand) []rdf.Triple {
+	vars := []rdf.Term{rdf.Var("x"), rdf.Var("y"), rdf.Var("z")}
+	iris := []rdf.Term{rdf.IRI("a"), rdf.IRI("b")}
+	preds := []rdf.Term{rdf.IRI("p"), rdf.IRI("q")}
+	so := func() rdf.Term {
+		if rng.Intn(4) == 0 {
+			return iris[rng.Intn(len(iris))]
+		}
+		return vars[rng.Intn(len(vars))]
+	}
+	n := 1 + rng.Intn(3)
+	out := make([]rdf.Triple, n)
+	for i := range out {
+		out[i] = rdf.T(so(), preds[rng.Intn(len(preds))], so())
+	}
+	return out
+}
+
+func TestFindAllIDAgreesWithFindAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for c := 0; c < 200; c++ {
+		g := randRowGraph(rng)
+		pats := randRowPats(rng)
+		want := FindAll(pats, g, 0)
+		layout := rdf.NewSlotLayout()
+		rows := FindAllID(pats, g, layout, 0)
+		if len(rows) != len(want) {
+			t.Fatalf("case %d: %v: %d rows, %d mappings", c, pats, len(rows), len(want))
+		}
+		seen := rdf.NewMappingSet()
+		for _, m := range want {
+			seen.Add(m)
+		}
+		for _, r := range rows {
+			m := layout.DecodeRow(g.Dict(), r)
+			if !seen.Contains(m) {
+				t.Fatalf("case %d: row decodes to non-solution %s", c, m)
+			}
+		}
+	}
+}
+
+func TestFindAllIDLimit(t *testing.T) {
+	g := rdf.NewGraph()
+	for _, s := range []string{"a", "b", "c", "d"} {
+		g.AddTriple(s, "p", s)
+	}
+	pats := []rdf.Triple{rdf.T(rdf.Var("x"), rdf.IRI("p"), rdf.Var("x"))}
+	layout := rdf.NewSlotLayout()
+	rows := FindAllID(pats, g, layout, 2)
+	if len(rows) != 2 {
+		t.Fatalf("limit 2 returned %d rows", len(rows))
+	}
+}
+
+func TestFindAllExtendingID(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for c := 0; c < 200; c++ {
+		g := randRowGraph(rng)
+		pats := randRowPats(rng)
+		layout := rdf.NewSlotLayout()
+		full := FindAllID(pats, g, layout, 0)
+		if len(full) == 0 {
+			continue
+		}
+		// Use the first solution's binding of its first bound slot as µ.
+		base := layout.NewRow()
+		pin := -1
+		for s, v := range full[0] {
+			if v != rdf.Unbound {
+				base[s] = v
+				pin = s
+				break
+			}
+		}
+		if pin < 0 {
+			continue
+		}
+		got := FindAllExtendingID(pats, g, layout, base, 0)
+		// Reference: every full solution whose pin slot matches.
+		wantN := 0
+		for _, r := range full {
+			if r[pin] == base[pin] {
+				wantN++
+			}
+		}
+		if len(got) != wantN {
+			t.Fatalf("case %d: extending rows %d, want %d", c, len(got), wantN)
+		}
+		for _, r := range got {
+			if r[pin] != base[pin] {
+				t.Fatalf("case %d: extension dropped base binding", c)
+			}
+		}
+	}
+}
+
+// The base row must be restored exactly after Run, including on early
+// termination.
+func TestRowSearcherRestoresRow(t *testing.T) {
+	g := rdf.NewGraph()
+	for _, s := range []string{"a", "b", "c"} {
+		g.AddTriple(s, "p", "b")
+	}
+	layout := rdf.NewSlotLayout()
+	prog := CompileRowProgram([]rdf.Triple{rdf.T(rdf.Var("x"), rdf.IRI("p"), rdf.Var("y"))}, g, layout)
+	row := layout.NewRow()
+	id, _ := g.Dict().LookupIRI("b")
+	ySlot, _ := layout.Slot("y")
+	row[ySlot] = id
+	s := prog.NewSearcher()
+	n := 0
+	s.Run(row, func() bool { n++; return n < 2 }) // stop early
+	if n != 2 {
+		t.Fatalf("yields: %d", n)
+	}
+	xSlot, _ := layout.Slot("x")
+	if row[xSlot] != rdf.Unbound || row[ySlot] != id {
+		t.Fatalf("row not restored: %v", row)
+	}
+}

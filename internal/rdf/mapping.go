@@ -200,22 +200,32 @@ func (m Mapping) String() string {
 type MappingSet struct {
 	dict  *Dict
 	byKey map[string]Mapping
+	pairs []uint64 // write-path scratch, reused across Add calls
 }
 
 // NewMappingSet returns an empty set.
 func NewMappingSet() *MappingSet {
-	return &MappingSet{dict: NewDict(), byKey: map[string]Mapping{}}
+	return NewMappingSetCap(0)
+}
+
+// NewMappingSetCap returns an empty set pre-sized for n mappings.
+// Callers that know the result cardinality (decode shims, AddAll)
+// avoid incremental map growth.
+func NewMappingSetCap(n int) *MappingSet {
+	return &MappingSet{dict: NewDict(), byKey: make(map[string]Mapping, n)}
 }
 
 // key packs the mapping into a canonical byte string of sorted
 // (varID, valueID) pairs under the set's dictionary, interning any
-// new strings. Use only on the write path (Add).
+// new strings. Use only on the write path (Add). The pair buffer is
+// reused across calls; only the returned key string is allocated.
 func (s *MappingSet) key(m Mapping) string {
-	pairs := make([]uint64, 0, 8)
+	pairs := s.pairs[:0]
 	for k, v := range m {
 		vid := uint64(s.dict.InternVar(k) - VarIDBase)
 		pairs = append(pairs, vid<<32|uint64(s.dict.InternIRI(v)))
 	}
+	s.pairs = pairs
 	return packPairs(pairs)
 }
 
@@ -300,8 +310,14 @@ func (s *MappingSet) Slice() []Mapping {
 	return out
 }
 
-// AddAll inserts every mapping of t into s.
+// AddAll inserts every mapping of t into s. An empty destination is
+// pre-sized for |t| up front (the common union-of-results case);
+// a non-empty one grows incrementally rather than paying a rehash of
+// the existing entries on every call.
 func (s *MappingSet) AddAll(t *MappingSet) {
+	if len(s.byKey) == 0 && len(t.byKey) > 0 {
+		s.byKey = make(map[string]Mapping, len(t.byKey))
+	}
 	for _, m := range t.byKey {
 		s.Add(m)
 	}

@@ -1,0 +1,151 @@
+package rdf
+
+import (
+	"testing"
+)
+
+func TestSlotLayoutInternAndDecode(t *testing.T) {
+	l := NewSlotLayout()
+	if got := l.Intern("x"); got != 0 {
+		t.Fatalf("first slot = %d", got)
+	}
+	if got := l.Intern("?x"); got != 0 {
+		t.Fatalf("sigil-stripped intern: %d", got)
+	}
+	if got := l.Intern("y"); got != 1 {
+		t.Fatalf("second slot = %d", got)
+	}
+	if s, ok := l.Slot("?y"); !ok || s != 1 {
+		t.Fatalf("Slot(?y) = %d, %v", s, ok)
+	}
+	if _, ok := l.Slot("z"); ok {
+		t.Fatal("Slot must not intern")
+	}
+	if l.Width() != 2 || l.Name(0) != "x" || l.Name(1) != "y" {
+		t.Fatalf("layout: width=%d names=%q,%q", l.Width(), l.Name(0), l.Name(1))
+	}
+}
+
+func TestRowEncodeDecodeRoundTrip(t *testing.T) {
+	g := NewGraph()
+	g.AddTriple("a", "p", "b")
+	g.AddTriple("b", "p", "c")
+	l := NewSlotLayout()
+	l.Intern("x")
+	l.Intern("y")
+	l.Intern("z")
+
+	m := Mapping{"x": "a", "z": "c"} // y deliberately unbound
+	row, ok := l.EncodeMapping(g.Dict(), m)
+	if !ok {
+		t.Fatal("encode failed")
+	}
+	if row[1] != Unbound {
+		t.Fatal("unbound variable must encode to Unbound")
+	}
+	back := l.DecodeRow(g.Dict(), row)
+	if !back.Equal(m) {
+		t.Fatalf("round trip: %v != %v", back, m)
+	}
+
+	if _, ok := l.EncodeMapping(g.Dict(), Mapping{"x": "nonexistent"}); ok {
+		t.Fatal("unknown value must fail encoding")
+	}
+	if _, ok := l.EncodeMapping(g.Dict(), Mapping{"other": "a"}); ok {
+		t.Fatal("unknown variable must fail encoding")
+	}
+}
+
+// addRows exercises Add/ContainsRow/Len/Each on a set; the same rows
+// must behave identically on the uint64 fast path and the byte-string
+// fallback.
+func addRows(t *testing.T, s *IDMappingSet, l *SlotLayout) {
+	t.Helper()
+	r1 := Row{0, Unbound, 2}
+	r2 := Row{0, 1, 2}
+	r3 := Row{Unbound, Unbound, Unbound}
+	for _, r := range []Row{r1, r2, r3} {
+		if !s.Add(r) {
+			t.Fatalf("fresh row %v reported duplicate", r)
+		}
+	}
+	for _, r := range []Row{r1, r2, r3} {
+		if s.Add(r.Clone()) {
+			t.Fatalf("duplicate row %v reported fresh", r)
+		}
+		if !s.ContainsRow(r) {
+			t.Fatalf("ContainsRow(%v) = false", r)
+		}
+	}
+	if s.ContainsRow(Row{0, Unbound, 1}) {
+		t.Fatal("absent row reported present")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Insertion order and aliasing-free iteration.
+	var got []Row
+	s.Each(func(r Row) bool {
+		got = append(got, r.Clone())
+		return true
+	})
+	want := []Row{r1, r2, r3}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("row %d: %v != %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIDMappingSetSmallKeys(t *testing.T) {
+	l := NewSlotLayout()
+	l.Intern("x")
+	l.Intern("y")
+	l.Intern("z")
+	addRows(t, NewIDMappingSet(l, 1000), l) // 10 bits × 3 slots ≤ 64
+}
+
+func TestIDMappingSetBigKeys(t *testing.T) {
+	l := NewSlotLayout()
+	l.Intern("x")
+	l.Intern("y")
+	l.Intern("z")
+	// maxID 0 disables every bound value on the fast path; all rows
+	// with bound slots take byte-string keys.
+	addRows(t, NewIDMappingSet(l, 0), l)
+}
+
+func TestIDMappingSetDecode(t *testing.T) {
+	g := NewGraph()
+	g.AddTriple("a", "p", "b")
+	l := NewSlotLayout()
+	l.Intern("x")
+	l.Intern("y")
+	s := NewIDMappingSet(l, g.Dict().NumIRIs())
+	row, _ := l.EncodeMapping(g.Dict(), Mapping{"x": "a", "y": "b"})
+	s.Add(row)
+	row2, _ := l.EncodeMapping(g.Dict(), Mapping{"x": "b"})
+	s.Add(row2)
+	dec := s.Decode(g.Dict())
+	if dec.Len() != 2 {
+		t.Fatalf("decoded %d mappings", dec.Len())
+	}
+	if !dec.Contains(Mapping{"x": "a", "y": "b"}) || !dec.Contains(Mapping{"x": "b"}) {
+		t.Fatalf("decode lost mappings: %v", dec.Slice())
+	}
+}
+
+func TestIDMappingSetSortedRows(t *testing.T) {
+	l := NewSlotLayout()
+	l.Intern("x")
+	s := NewIDMappingSet(l, 100)
+	s.Add(Row{7})
+	s.Add(Row{Unbound})
+	s.Add(Row{3})
+	rows := s.SortedRows()
+	if rows[0][0] != 3 || rows[1][0] != 7 || rows[2][0] != Unbound {
+		t.Fatalf("sorted order: %v", rows)
+	}
+}

@@ -13,31 +13,138 @@ import (
 //	⟦P1 OPT P2⟧G    = ⟦P1 AND P2⟧G ∪ {µ1 ∈ ⟦P1⟧G | no compatible µ2 ∈ ⟦P2⟧G}
 //	⟦P1 UNION P2⟧G  = ⟦P1⟧G ∪ ⟦P2⟧G
 //
-// It materialises full intermediate results and is therefore
-// exponential in the worst case; it serves as the ground-truth
-// reference implementation against which the wdPT evaluators of
-// internal/core are cross-validated, and as the PSPACE-flavoured
-// baseline of the benchmark harness.
+// Evaluation is ID-native: the pattern's variables are compiled to a
+// SlotLayout once, intermediate results are rdf.IDMappingSets of flat
+// rows, compatibility and union are slot-wise array operations with
+// the candidate shared slots (vars(P1) ∩ vars(P2)) computed once per
+// operator, and strings are only touched when the final result is
+// decoded at the Eval boundary. It still materialises full
+// intermediate results and is therefore exponential in the worst
+// case; it serves as the ground-truth reference implementation against
+// which the wdPT evaluators of internal/core are cross-validated, and
+// as the PSPACE-flavoured baseline of the benchmark harness.
 
-// Eval computes ⟦P⟧G by the compositional semantics.
-func Eval(p Pattern, g *rdf.Graph) *rdf.MappingSet {
+// rowEvaluator carries the per-query compilation: the slot layout of
+// vars(P) and the graph the pattern is evaluated against.
+type rowEvaluator struct {
+	g      *rdf.Graph
+	layout *rdf.SlotLayout
+	maxID  int
+}
+
+func newRowEvaluator(p Pattern, g *rdf.Graph) *rowEvaluator {
+	layout := rdf.NewSlotLayout()
+	for _, v := range Vars(p) {
+		layout.Intern(v.Value)
+	}
+	return &rowEvaluator{g: g, layout: layout, maxID: g.Dict().NumIRIs()}
+}
+
+func (e *rowEvaluator) newSet() *rdf.IDMappingSet {
+	return rdf.NewIDMappingSet(e.layout, e.maxID)
+}
+
+// sharedSlots returns the slots of vars(l) ∩ vars(r) — the only slots
+// two sub-results can both bind, hence the only slots compatibility
+// must inspect. Computed once per binary operator, not per row pair.
+func (e *rowEvaluator) sharedSlots(l, r Pattern) []int {
+	inL := map[int]bool{}
+	for _, v := range Vars(l) {
+		if s, ok := e.layout.Slot(v.Value); ok {
+			inL[s] = true
+		}
+	}
+	var out []int
+	for _, v := range Vars(r) {
+		if s, ok := e.layout.Slot(v.Value); ok && inL[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// compatibleRows reports µ1 ~ µ2 given the operator's shared slots.
+func compatibleRows(a, b rdf.Row, shared []int) bool {
+	for _, s := range shared {
+		if va, vb := a[s], b[s]; va != rdf.Unbound && vb != rdf.Unbound && va != vb {
+			return false
+		}
+	}
+	return true
+}
+
+// unionRows writes µ1 ∪ µ2 into buf (full width; µ1 wins where both
+// are bound, which is sound because compatibility was checked).
+func unionRows(a, b rdf.Row, buf rdf.Row) rdf.Row {
+	for i := range buf {
+		if a[i] != rdf.Unbound {
+			buf[i] = a[i]
+		} else {
+			buf[i] = b[i]
+		}
+	}
+	return buf
+}
+
+// evalTriple computes the base case ⟦t⟧G as rows.
+func (e *rowEvaluator) evalTriple(t rdf.Triple) *rdf.IDMappingSet {
+	out := e.newSet()
+	var ip rdf.IDTriple
+	var slotAt [3]int
+	for i, term := range t.Terms() {
+		if term.IsVar() {
+			s, ok := e.layout.Slot(term.Value)
+			if !ok {
+				// Cannot happen: the layout interned vars(P) ⊇ vars(t).
+				panic("sparql: triple variable missing from layout")
+			}
+			slotAt[i] = s
+			ip[i] = rdf.VarID(s)
+			continue
+		}
+		slotAt[i] = -1
+		id, ok := e.g.Dict().LookupIRI(term.Value)
+		if !ok {
+			return out // constant not in G: no matches
+		}
+		ip[i] = id
+	}
+	row := e.layout.NewRow()
+	for _, tr := range e.g.CandidatesID(ip) {
+		if !rdf.MatchesPatternID(ip, tr) {
+			continue
+		}
+		for i := 0; i < 3; i++ {
+			if slotAt[i] >= 0 {
+				row[slotAt[i]] = tr[i]
+			}
+		}
+		out.Add(row)
+		for i := 0; i < 3; i++ {
+			if slotAt[i] >= 0 {
+				row[slotAt[i]] = rdf.Unbound
+			}
+		}
+	}
+	return out
+}
+
+// eval computes ⟦P⟧G as rows with nested-loop join operators (the
+// reference semantics, executable line by line against the paper).
+func (e *rowEvaluator) eval(p Pattern) *rdf.IDMappingSet {
 	switch q := p.(type) {
 	case Triple:
-		out := rdf.NewMappingSet()
-		for _, m := range g.MatchMappings(q.T) {
-			out.Add(m)
-		}
-		return out
+		return e.evalTriple(q.T)
 	case Binary:
-		left := Eval(q.Left, g)
-		right := Eval(q.Right, g)
+		left := e.eval(q.Left)
+		right := e.eval(q.Right)
 		switch q.Op {
 		case OpAnd:
-			return join(left, right)
+			return e.join(left, right, e.sharedSlots(q.Left, q.Right))
 		case OpOpt:
-			return leftOuter(left, right)
+			return e.leftOuter(left, right, e.sharedSlots(q.Left, q.Right))
 		case OpUnion:
-			out := rdf.NewMappingSet()
+			out := e.newSet()
 			out.AddAll(left)
 			out.AddAll(right)
 			return out
@@ -47,40 +154,63 @@ func Eval(p Pattern, g *rdf.Graph) *rdf.MappingSet {
 }
 
 // join computes {µ1 ∪ µ2 | compatible}.
-func join(a, b *rdf.MappingSet) *rdf.MappingSet {
-	out := rdf.NewMappingSet()
-	bs := b.Slice()
-	for _, m1 := range a.Slice() {
-		for _, m2 := range bs {
-			if u, ok := m1.Union(m2); ok {
-				out.Add(u)
+func (e *rowEvaluator) join(a, b *rdf.IDMappingSet, shared []int) *rdf.IDMappingSet {
+	out := e.newSet()
+	buf := e.layout.NewRow()
+	a.Each(func(ra rdf.Row) bool {
+		b.Each(func(rb rdf.Row) bool {
+			if compatibleRows(ra, rb, shared) {
+				out.Add(unionRows(ra, rb, buf))
 			}
-		}
-	}
+			return true
+		})
+		return true
+	})
 	return out
 }
 
 // leftOuter computes ⟦P1 OPT P2⟧ from the two operand results.
-func leftOuter(a, b *rdf.MappingSet) *rdf.MappingSet {
-	out := rdf.NewMappingSet()
-	bs := b.Slice()
-	for _, m1 := range a.Slice() {
+func (e *rowEvaluator) leftOuter(a, b *rdf.IDMappingSet, shared []int) *rdf.IDMappingSet {
+	out := e.newSet()
+	buf := e.layout.NewRow()
+	a.Each(func(ra rdf.Row) bool {
 		extended := false
-		for _, m2 := range bs {
-			if u, ok := m1.Union(m2); ok {
-				out.Add(u)
+		b.Each(func(rb rdf.Row) bool {
+			if compatibleRows(ra, rb, shared) {
+				out.Add(unionRows(ra, rb, buf))
 				extended = true
 			}
-		}
+			return true
+		})
 		if !extended {
-			out.Add(m1)
+			out.Add(ra)
 		}
-	}
+		return true
+	})
 	return out
 }
 
+// EvalID computes ⟦P⟧G by the compositional semantics as a row set
+// (the set carries the pattern's slot layout).
+func EvalID(p Pattern, g *rdf.Graph) *rdf.IDMappingSet {
+	return newRowEvaluator(p, g).eval(p)
+}
+
+// Eval computes ⟦P⟧G by the compositional semantics, decoding the row
+// result at the boundary.
+func Eval(p Pattern, g *rdf.Graph) *rdf.MappingSet {
+	return EvalID(p, g).Decode(g.Dict())
+}
+
 // Contains reports whether µ ∈ ⟦P⟧G by the compositional semantics.
-// This is the reference decision procedure for wdEVAL.
+// This is the reference decision procedure for wdEVAL. The probe is
+// encoded once; a mapping that mentions a variable outside vars(P) or
+// a value outside dom(G) cannot be a solution.
 func Contains(p Pattern, g *rdf.Graph, mu rdf.Mapping) bool {
-	return Eval(p, g).Contains(mu)
+	e := newRowEvaluator(p, g)
+	row, ok := e.layout.EncodeMapping(g.Dict(), mu)
+	if !ok {
+		return false
+	}
+	return e.eval(p).ContainsRow(row)
 }

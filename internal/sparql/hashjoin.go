@@ -1,58 +1,66 @@
 package sparql
 
 import (
-	"sort"
-	"strings"
-
 	"wdsparql/internal/rdf"
 )
 
 // This file implements a second, production-grade compositional
 // evaluator: the same Pérez-et-al. semantics as Eval, but with
 // hash-based join and left-outer-join operators instead of nested
-// loops. Mappings are partitioned by their projection onto the shared
-// variables of the two operands, turning the O(|L|·|R|) pairing into
-// O(|L| + |R| + |output|) for AND. Because SPARQL mappings are
-// *partial*, two mappings can be compatible without agreeing on a
-// common domain; the paper's semantics only needs compatibility on
-// dom(µ1) ∩ dom(µ2), and the hash key must therefore be computed per
-// pair of operand *schemas*. The evaluator groups each operand by its
-// exact domain (OPTIONAL produces mixed-schema sets) and hash-joins
-// schema pairs.
+// loops, running on the same flat-row representation. Rows are
+// partitioned by their bound-slot mask over the operator's shared
+// slots (vars(P1) ∩ vars(P2), computed once per operator); because
+// SPARQL mappings are *partial*, two rows can be compatible without
+// agreeing on a common domain, and the hash key must be the projection
+// onto the slots both schemas actually bind — computed once per pair
+// of masks, not per pair of rows. This turns the O(|L|·|R|) pairing
+// into O(|L| + |R| + |output|) per mask pair for AND.
 
 // EvalHashJoin computes ⟦P⟧G with hash-based operators. It always
 // agrees with Eval (asserted by the test suite) and is the faster
 // choice on large intermediate results.
 func EvalHashJoin(p Pattern, g *rdf.Graph) *rdf.MappingSet {
+	return EvalHashJoinID(p, g).Decode(g.Dict())
+}
+
+// EvalHashJoinID is EvalHashJoin without the boundary decode.
+func EvalHashJoinID(p Pattern, g *rdf.Graph) *rdf.IDMappingSet {
+	return newRowEvaluator(p, g).evalHash(p)
+}
+
+func (e *rowEvaluator) evalHash(p Pattern) *rdf.IDMappingSet {
 	switch q := p.(type) {
 	case Triple:
-		out := rdf.NewMappingSet()
-		for _, m := range g.MatchMappings(q.T) {
-			out.Add(m)
-		}
-		return out
+		return e.evalTriple(q.T)
 	case Binary:
-		left := EvalHashJoin(q.Left, g)
-		right := EvalHashJoin(q.Right, g)
+		left := e.evalHash(q.Left)
+		right := e.evalHash(q.Right)
 		switch q.Op {
 		case OpAnd:
-			out := rdf.NewMappingSet()
-			hashJoin(left, right, func(u rdf.Mapping) { out.Add(u) }, nil)
+			out := e.newSet()
+			buf := e.layout.NewRow()
+			e.hashJoin(left, right, e.sharedSlots(q.Left, q.Right), func(a, b rdf.Row) {
+				out.Add(unionRows(a, b, buf))
+			}, nil)
 			return out
 		case OpOpt:
-			out := rdf.NewMappingSet()
-			extended := map[string]bool{}
-			hashJoin(left, right, func(u rdf.Mapping) { out.Add(u) }, func(m1 rdf.Mapping) {
-				extended[m1.Key()] = true
-			})
-			for _, m1 := range left.Slice() {
-				if !extended[m1.Key()] {
-					out.Add(m1)
+			out := e.newSet()
+			buf := e.layout.NewRow()
+			matched := make([]bool, left.Len())
+			e.hashJoin(left, right, e.sharedSlots(q.Left, q.Right), func(a, b rdf.Row) {
+				out.Add(unionRows(a, b, buf))
+			}, matched)
+			i := 0
+			left.Each(func(ra rdf.Row) bool {
+				if !matched[i] {
+					out.Add(ra)
 				}
-			}
+				i++
+				return true
+			})
 			return out
 		case OpUnion:
-			out := rdf.NewMappingSet()
+			out := e.newSet()
 			out.AddAll(left)
 			out.AddAll(right)
 			return out
@@ -61,104 +69,122 @@ func EvalHashJoin(p Pattern, g *rdf.Graph) *rdf.MappingSet {
 	panic("sparql: unknown pattern type in EvalHashJoin")
 }
 
-// schemaGroup partitions mappings by their exact domain.
-type schemaGroup struct {
-	vars []string // sorted domain
-	maps []rdf.Mapping
+// maskGroup is the set of rows of one operand that bind exactly the
+// same subset of the operator's shared slots.
+type maskGroup struct {
+	mask uint64
+	idx  []int // row indices within the operand set
 }
 
-func groupBySchema(set *rdf.MappingSet) []schemaGroup {
-	byKey := map[string]*schemaGroup{}
-	for _, m := range set.Slice() {
-		vars := make([]string, 0, len(m))
-		for v := range m {
-			vars = append(vars, v)
+// groupByMask partitions the set's rows by which shared slots they
+// bind. Shared-slot counts beyond 64 would overflow the mask; the
+// caller falls back to the nested-loop operators in that (practically
+// unreachable) regime.
+func groupByMask(set *rdf.IDMappingSet, shared []int) []maskGroup {
+	byMask := map[uint64]int{}
+	var groups []maskGroup
+	i := 0
+	set.Each(func(r rdf.Row) bool {
+		var m uint64
+		for bit, s := range shared {
+			if r[s] != rdf.Unbound {
+				m |= 1 << uint(bit)
+			}
 		}
-		sort.Strings(vars)
-		key := strings.Join(vars, "\x00")
-		gr, ok := byKey[key]
+		gi, ok := byMask[m]
 		if !ok {
-			gr = &schemaGroup{vars: vars}
-			byKey[key] = gr
+			gi = len(groups)
+			byMask[m] = gi
+			groups = append(groups, maskGroup{mask: m})
 		}
-		gr.maps = append(gr.maps, m)
-	}
-	keys := make([]string, 0, len(byKey))
-	for k := range byKey {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]schemaGroup, 0, len(keys))
-	for _, k := range keys {
-		out = append(out, *byKey[k])
-	}
-	return out
+		groups[gi].idx = append(groups[gi].idx, i)
+		i++
+		return true
+	})
+	return groups
 }
 
-// hashJoin pairs compatible mappings of the two sets, calling emit on
-// every union. When onMatch is non-nil it is additionally called once
-// per left mapping that found at least one compatible partner (used by
-// the left-outer join). Pairing is done per schema pair: the hash key
-// is the projection onto the shared variables of the two schemas.
-func hashJoin(left, right *rdf.MappingSet, emit func(rdf.Mapping), onMatch func(rdf.Mapping)) {
-	lGroups := groupBySchema(left)
-	rGroups := groupBySchema(right)
+// hashJoin pairs compatible rows of the two sets, calling emit on
+// every (left, right) pair. When matched is non-nil, matched[i] is set
+// for every left row i that found at least one partner (used by the
+// left-outer join). Pairing is per mask pair: the probe key is the
+// packed projection onto the slots both masks bind.
+func (e *rowEvaluator) hashJoin(left, right *rdf.IDMappingSet, shared []int, emit func(a, b rdf.Row), matched []bool) {
+	if len(shared) > 64 {
+		// Mask overflow: degrade to the nested-loop pairing.
+		i := 0
+		left.Each(func(ra rdf.Row) bool {
+			right.Each(func(rb rdf.Row) bool {
+				if compatibleRows(ra, rb, shared) {
+					emit(ra, rb)
+					if matched != nil {
+						matched[i] = true
+					}
+				}
+				return true
+			})
+			i++
+			return true
+		})
+		return
+	}
+	lGroups := groupByMask(left, shared)
+	rGroups := groupByMask(right, shared)
+	keySlots := make([]int, 0, len(shared))
+	var keyBuf []byte
+	// packKey renders the projection onto keySlots into a reused
+	// buffer; probe-side lookups convert it with the allocation-free
+	// map-index idiom, so only build-side inserts allocate.
+	packKey := func(r rdf.Row) []byte {
+		b := keyBuf[:0]
+		for _, s := range keySlots {
+			b = rdf.AppendIDLE(b, r[s])
+		}
+		keyBuf = b
+		return b
+	}
 	for _, lg := range lGroups {
 		for _, rg := range rGroups {
-			shared := sharedVars(lg.vars, rg.vars)
-			// Build on the smaller side.
-			build, probe := rg, lg
-			probeIsLeft := true
-			if len(lg.maps) < len(rg.maps) {
-				build, probe = lg, rg
-				probeIsLeft = false
+			// Slots both schemas bind: the only slots compatibility can
+			// fail on, computed once per mask pair.
+			both := lg.mask & rg.mask
+			keySlots = keySlots[:0]
+			for bit, s := range shared {
+				if both&(1<<uint(bit)) != 0 {
+					keySlots = append(keySlots, s)
+				}
 			}
-			index := map[string][]rdf.Mapping{}
-			for _, m := range build.maps {
-				index[projectKey(m, shared)] = append(index[projectKey(m, shared)], m)
+			// Build on the smaller side, probe with the larger.
+			build, probe, buildIsLeft := rg, lg, false
+			buildSet, probeSet := right, left
+			if len(lg.idx) < len(rg.idx) {
+				build, probe, buildIsLeft = lg, rg, true
+				buildSet, probeSet = left, right
 			}
-			for _, m := range probe.maps {
-				for _, partner := range index[projectKey(m, shared)] {
-					// Shared-variable agreement is guaranteed by the
-					// key; domains only overlap on shared, so the
-					// union always succeeds.
-					u, ok := m.Union(partner)
-					if !ok {
-						continue
-					}
-					emit(u)
-					if onMatch != nil {
-						if probeIsLeft {
-							onMatch(m)
-						} else {
-							onMatch(partner)
+			index := make(map[string][]int, len(build.idx))
+			for _, bi := range build.idx {
+				k := string(packKey(buildSet.Row(bi)))
+				index[k] = append(index[k], bi)
+			}
+			for _, pi := range probe.idx {
+				pr := probeSet.Row(pi)
+				for _, bi := range index[string(packKey(pr))] {
+					br := buildSet.Row(bi)
+					// Key equality on the both-bound slots is exactly
+					// compatibility for this mask pair.
+					if buildIsLeft {
+						emit(br, pr)
+						if matched != nil {
+							matched[bi] = true
+						}
+					} else {
+						emit(pr, br)
+						if matched != nil {
+							matched[pi] = true
 						}
 					}
 				}
 			}
 		}
 	}
-}
-
-func sharedVars(a, b []string) []string {
-	inB := map[string]bool{}
-	for _, v := range b {
-		inB[v] = true
-	}
-	var out []string
-	for _, v := range a {
-		if inB[v] {
-			out = append(out, v)
-		}
-	}
-	return out
-}
-
-func projectKey(m rdf.Mapping, vars []string) string {
-	var b strings.Builder
-	for _, v := range vars {
-		b.WriteString(m[v])
-		b.WriteByte('\x00')
-	}
-	return b.String()
 }
