@@ -11,10 +11,11 @@ vet:
 	$(GO) vet ./...
 
 # Headline perf trajectory: the E3 frontier benchmark (naive and pebble
-# series) plus the E9 enumeration benchmark (string pipeline vs
-# compiled rows), recorded as go-test JSON events so the numbers are
-# tracked across PRs. Bump the artifact name (BENCH_<n>.json) per PR.
-BENCH_OUT ?= BENCH_2.json
+# series), the E9 enumeration benchmark (string pipeline vs compiled
+# rows) and the E10 engine benchmark (prepared vs one-shot execution),
+# recorded as go-test JSON events so the numbers are tracked across
+# PRs. Bump the artifact name (BENCH_<n>.json) per PR.
+BENCH_OUT ?= BENCH_3.json
 bench:
-	$(GO) test -bench='E3|E9' -benchmem -run='^$$' -json > $(BENCH_OUT)
+	$(GO) test -bench='E3|E9|E10' -benchmem -run='^$$' -json > $(BENCH_OUT)
 	@grep 'ns/op' $(BENCH_OUT) | sed -E 's/.*"Output":"(.*)\\n".*/\1/; s/\\t/\t/g'

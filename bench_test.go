@@ -1,18 +1,23 @@
-package wdsparql
+package wdsparql_test
 
-// One testing.B benchmark per experiment of DESIGN.md §4. The bench
+// One testing.B benchmark per experiment of DESIGN.md. The bench
 // targets mirror the wdbench tables: run
 //
 //	go test -bench=. -benchmem
 //
-// and compare against EXPERIMENTS.md. Sub-benchmarks carry the swept
-// parameter in their name (k for query families, n for data sizes).
+// and compare against the recorded BENCH_<n>.json series.
+// Sub-benchmarks carry the swept parameter in their name (k for query
+// families, n for data sizes). This file is an external test package
+// so it can exercise internal/bench, which itself builds on the public
+// engine API.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
 
+	"wdsparql"
 	"wdsparql/internal/bench"
 	"wdsparql/internal/core"
 	"wdsparql/internal/gen"
@@ -284,6 +289,59 @@ func BenchmarkE9TopDownEnum(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if core.EnumerateTopDownForest(f, g).Len() != want {
 				b.Fatal("solution count changed")
+			}
+		}
+	})
+}
+
+// BenchmarkE10PreparedVsOneShot measures the prepare/execute split on
+// the E9 enumeration workload: the deprecated one-shot Solutions
+// (which re-builds an engine and re-compiles the forest against the
+// graph on every call) against a PreparedQuery executed repeatedly —
+// materialising (All), zero-decode counting (Rows via Count), and a
+// first-page fetch (Limit). The headline numbers for the engine layer:
+// prepared execution must beat one-shot on repeated-query workloads.
+func BenchmarkE10PreparedVsOneShot(b *testing.B) {
+	ctx := context.Background()
+	p := wdsparql.MustParsePattern(bench.E10PatternText)
+	g := bench.E9Data(128)
+	q, err := wdsparql.NewEngine(g).Prepare(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want, err := q.Count(ctx)
+	if err != nil || want == 0 {
+		b.Fatalf("empty E10 workload: %d, %v", want, err)
+	}
+	b.Run("oneshot-solutions", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			set, err := wdsparql.Solutions(p, g)
+			if err != nil || set.Len() != want {
+				b.Fatalf("solution count changed: %d, %v", set.Len(), err)
+			}
+		}
+	})
+	b.Run("prepared-all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			set, err := q.All(ctx)
+			if err != nil || set.Len() != want {
+				b.Fatalf("solution count changed: %d, %v", set.Len(), err)
+			}
+		}
+	})
+	b.Run("prepared-count", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n, err := q.Count(ctx)
+			if err != nil || n != want {
+				b.Fatalf("solution count changed: %d, %v", n, err)
+			}
+		}
+	})
+	b.Run("prepared-first-page", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n, err := q.Count(ctx, wdsparql.Limit(10))
+			if err != nil || n != 10 {
+				b.Fatalf("page size changed: %d, %v", n, err)
 			}
 		}
 	})

@@ -1,25 +1,31 @@
 // Command wdsparql evaluates a well-designed SPARQL graph pattern over
-// an RDF graph.
+// an RDF graph through the prepared-query engine: the pattern is
+// compiled once (wdsparql.Engine.Prepare) and solutions stream as they
+// are enumerated, so Ctrl-C — or reaching -limit — stops the
+// enumeration immediately instead of after materialising ⟦P⟧G.
 //
 // Usage:
 //
 //	wdsparql -query '((?x p ?y) OPT (?y q ?z))' -data graph.nt [flags]
 //
 // With -mu the command decides wdEVAL for one mapping; without it the
-// full solution set ⟦P⟧G is printed. The -algo flag selects between
-// the natural algorithm ("naive"), the Theorem 1 pebble algorithm
-// ("pebble", with -k the domination-width bound) and the compositional
-// reference semantics ("compositional").
+// solution stream is printed (windowed by -limit/-offset, parallelised
+// by -workers). The -algo flag selects between the natural algorithm
+// ("naive"), the Theorem 1 pebble algorithm ("pebble", with -k the
+// domination-width bound) and the compositional reference semantics
+// ("compositional"); "topdown" forces the enumeration-based check.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
+	"wdsparql"
 	"wdsparql/internal/core"
-	"wdsparql/internal/ptree"
 	"wdsparql/internal/rdf"
 	"wdsparql/internal/sparql"
 )
@@ -30,6 +36,9 @@ func main() {
 	muArg := flag.String("mu", "", "mapping to test, e.g. 'x=a,y=b'; empty prints all solutions")
 	algo := flag.String("algo", "naive", "naive | pebble | compositional | topdown")
 	k := flag.Int("k", 1, "domination-width bound for -algo pebble")
+	limit := flag.Int("limit", -1, "print at most this many solutions (negative: all)")
+	offset := flag.Int("offset", 0, "skip the first n solutions")
+	workers := flag.Int("workers", 1, "enumeration worker-pool size")
 	stats := flag.Bool("stats", false, "print data statistics and evaluation counters")
 	flag.Parse()
 
@@ -39,11 +48,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Interrupts cancel the context; the prepared-query streams stop at
+	// their next yield boundary and the command exits cleanly.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
 	pattern, err := sparql.Parse(*query)
 	if err != nil {
-		fatal(err)
-	}
-	if err := sparql.CheckWellDesigned(pattern); err != nil {
 		fatal(err)
 	}
 	g, err := readGraph(*dataPath)
@@ -55,15 +66,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "data: %s\n", rdf.Stats(g))
 	}
 
+	alg := wdsparql.AlgNaive
+	if *algo == "pebble" {
+		alg = wdsparql.AlgPebble
+	}
+	engine := wdsparql.NewEngine(g,
+		wdsparql.WithAlgorithm(alg), wdsparql.WithPebbleK(*k), wdsparql.WithWorkers(*workers))
+	q, err := engine.Prepare(pattern)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *muArg == "" {
-		printSolutions(pattern, g, *algo)
+		printSolutions(ctx, q, g, *algo, *limit, *offset)
 		return
 	}
 	mu, err := parseMu(*muArg)
 	if err != nil {
 		fatal(err)
 	}
-	ans, err := decide(pattern, g, mu, *algo, *k, *stats)
+	ans, err := decide(ctx, q, g, mu, *algo, *k, *stats)
 	if err != nil {
 		fatal(err)
 	}
@@ -101,61 +123,63 @@ func parseMu(s string) (rdf.Mapping, error) {
 	return mu, nil
 }
 
-func decide(p sparql.Pattern, g *rdf.Graph, mu rdf.Mapping, algo string, k int, stats bool) (bool, error) {
+func decide(ctx context.Context, q *wdsparql.PreparedQuery, g *rdf.Graph, mu rdf.Mapping, algo string, k int, stats bool) (bool, error) {
 	switch algo {
 	case "compositional":
-		return sparql.Contains(p, g, mu), nil
+		return sparql.Contains(q.Pattern(), g, mu), nil
 	case "topdown":
-		f, err := ptree.WDPF(p)
+		set, err := q.All(ctx)
 		if err != nil {
 			return false, err
 		}
-		return core.EnumerateTopDownForest(f, g).Contains(mu), nil
+		return set.Contains(mu), nil
 	case "naive", "pebble":
-		f, err := ptree.WDPF(p)
-		if err != nil {
-			return false, err
+		if !stats {
+			return q.Ask(ctx, mu)
 		}
+		// The counter-instrumented paths live below the engine.
 		if algo == "naive" {
-			ans, st := core.EvalNaiveStats(f, g, mu)
-			if stats {
-				fmt.Fprintf(os.Stderr, "naive: trees=%d matched=%d extension-tests=%d\n",
-					st.TreesProbed, st.SubtreesMatched, st.ExtensionTests)
-			}
+			ans, st := core.EvalNaiveStats(q.Forest(), g, mu)
+			fmt.Fprintf(os.Stderr, "naive: trees=%d matched=%d extension-tests=%d\n",
+				st.TreesProbed, st.SubtreesMatched, st.ExtensionTests)
 			return ans, nil
 		}
-		ans, st := core.EvalPebbleStats(k, f, g, mu)
-		if stats {
-			fmt.Fprintf(os.Stderr, "pebble(k=%d): trees=%d matched=%d tests=%d assignments=%d\n",
-				k, st.TreesProbed, st.SubtreesMatched, st.ExtensionTests, st.PebbleAssignments)
-		}
+		ans, st := core.EvalPebbleStats(k, q.Forest(), g, mu)
+		fmt.Fprintf(os.Stderr, "pebble(k=%d): trees=%d matched=%d tests=%d assignments=%d\n",
+			k, st.TreesProbed, st.SubtreesMatched, st.ExtensionTests, st.PebbleAssignments)
 		return ans, nil
 	}
 	return false, fmt.Errorf("wdsparql: unknown algorithm %q", algo)
 }
 
-func printSolutions(p sparql.Pattern, g *rdf.Graph, algo string) {
-	var set *rdf.MappingSet
-	switch algo {
-	case "compositional":
-		set = sparql.EvalHashJoin(p, g)
-	case "topdown":
-		f, err := ptree.WDPF(p)
-		if err != nil {
-			fatal(err)
+func printSolutions(ctx context.Context, q *wdsparql.PreparedQuery, g *rdf.Graph, algo string, limit, offset int) {
+	if algo == "compositional" {
+		// The reference semantics materialise ⟦P⟧G, so the window is
+		// applied to the materialised set rather than the enumeration.
+		sols := sparql.EvalHashJoin(q.Pattern(), g).Slice()
+		if offset > len(sols) {
+			offset = len(sols)
 		}
-		set = core.EnumerateTopDownForest(f, g)
-	default:
-		f, err := ptree.WDPF(p)
-		if err != nil {
-			fatal(err)
+		sols = sols[offset:]
+		if limit >= 0 && limit < len(sols) {
+			sols = sols[:limit]
 		}
-		set = core.EnumerateForest(f, g)
+		for _, mu := range sols {
+			fmt.Println(mu)
+		}
+		fmt.Fprintf(os.Stderr, "%d solution(s)\n", len(sols))
+		return
 	}
-	for _, mu := range set.Slice() {
+	n := 0
+	for mu := range q.Select(ctx, wdsparql.Limit(limit), wdsparql.Offset(offset)) {
 		fmt.Println(mu)
+		n++
 	}
-	fmt.Fprintf(os.Stderr, "%d solution(s)\n", set.Len())
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "interrupted after %d solution(s)\n", n)
+		os.Exit(130)
+	}
+	fmt.Fprintf(os.Stderr, "%d solution(s)\n", n)
 }
 
 func fatal(err error) {

@@ -10,7 +10,9 @@
 //
 // Exit status 0 and a summary line per measure. The computation is
 // exponential in the query size (width is a static property); keep
-// queries small.
+// queries small. The command is a thin shell over Engine.Prepare on a
+// data-less engine: widths are part of a prepared query's cached
+// static analysis.
 package main
 
 import (
@@ -18,9 +20,7 @@ import (
 	"fmt"
 	"os"
 
-	"wdsparql/internal/core"
-	"wdsparql/internal/ptree"
-	"wdsparql/internal/sparql"
+	"wdsparql"
 )
 
 func main() {
@@ -33,26 +33,27 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	p, err := sparql.Parse(*query)
+	p, err := wdsparql.ParsePattern(*query)
 	if err != nil {
 		fatal(err)
 	}
-	if err := sparql.CheckWellDesigned(p); err != nil {
-		fatal(err)
-	}
-	f, err := ptree.WDPF(p)
+	// A nil graph gives a purely static engine: Prepare runs the
+	// well-designedness check and the wdpf translation, and the width
+	// accessors below are computed once and cached on the query.
+	q, err := wdsparql.NewEngine(nil).Prepare(p)
 	if err != nil {
 		fatal(err)
 	}
+	f := q.Forest()
 	if *verbose {
 		fmt.Print(f)
 	}
 	fmt.Printf("trees:            %d\n", len(f))
-	fmt.Printf("domination width: %d\n", core.DominationWidth(f))
-	if sparql.IsUnionFree(p) {
-		fmt.Printf("branch treewidth: %d (UNION-free: equals dw by Prop. 5)\n", core.BranchTreewidth(f[0]))
+	fmt.Printf("domination width: %d\n", q.DominationWidth())
+	if bw, err := q.BranchTreewidth(); err == nil {
+		fmt.Printf("branch treewidth: %d (UNION-free: equals dw by Prop. 5)\n", bw)
 	}
-	fmt.Printf("local width:      %d\n", core.LocalWidth(f))
+	fmt.Printf("local width:      %d\n", q.LocalWidth())
 }
 
 func fatal(err error) {

@@ -1,0 +1,390 @@
+package wdsparql
+
+// This file is the prepared-query engine: the production entry point
+// of the package. An Engine captures a graph plus engine-wide options;
+// Prepare runs every graph-pattern-independent static analysis exactly
+// once (well-designedness check, wdpf translation, row-program
+// compilation over one shared slot layout) and returns an immutable,
+// goroutine-safe PreparedQuery whose execution methods expose the full
+// pipeline tiered by cost:
+//
+//	q.Rows(ctx)    — zero-decode ID-native rows (hot callers)
+//	q.Select(ctx)  — streaming Mappings, decoded at the boundary
+//	q.Count(ctx)   — cardinality of ⟦P⟧G without decoding
+//	q.All(ctx)     — materialising convenience (a MappingSet)
+//	q.Ask(ctx, µ)  — wdEVAL via the engine's algorithm
+//
+// Limit/Offset/Parallel are per-call ExecOptions riding the
+// early-terminating row iterator; cancellation of ctx stops any of the
+// streams (and all parallel workers) at the next yield boundary. See
+// DESIGN.md for the full API contract.
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"sync"
+	"sync/atomic"
+
+	"wdsparql/internal/core"
+	"wdsparql/internal/ptree"
+	"wdsparql/internal/rdf"
+	"wdsparql/internal/sparql"
+)
+
+// Row is a solution mapping in flat ID-native form: Row[s] is the
+// TermID bound to the variable with slot s of the query's SlotLayout,
+// or Unbound. Rows yielded by PreparedQuery.Rows alias the working row
+// of the enumeration — valid only during the yield; Clone to retain.
+type Row = rdf.Row
+
+// SlotLayout maps the variables of one prepared query to the dense
+// slots of its rows. A prepared query's layout is read-only.
+type SlotLayout = rdf.SlotLayout
+
+// Unbound marks an unbound slot in a Row.
+const Unbound = rdf.Unbound
+
+// Engine evaluates prepared queries against one RDF graph. It captures
+// the graph plus the engine-wide execution options; the zero cost of a
+// query re-run is the whole point — Prepare once, execute many.
+//
+// An Engine is immutable after NewEngine and safe for concurrent use.
+// The graph must not be mutated while the engine is in use (the same
+// constraint the underlying read paths already impose).
+type Engine struct {
+	g       *rdf.Graph
+	alg     core.Algorithm
+	pebbleK int
+	workers int
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithAlgorithm selects the wdEVAL decision algorithm used by Ask:
+// AlgNaive (Lemma 1 homomorphism tests, the default) or AlgPebble
+// (the Theorem 1 polynomial-time algorithm).
+func WithAlgorithm(a Algorithm) Option { return func(e *Engine) { e.alg = a } }
+
+// WithPebbleK sets the domination-width bound k ≥ 1 used by AlgPebble
+// (correctness is guaranteed when dw(P) ≤ k). The default is 1; Ask
+// reports an error for a pebble engine configured with k < 1.
+func WithPebbleK(k int) Option { return func(e *Engine) { e.pebbleK = k } }
+
+// WithWorkers sets the default worker-pool size for enumeration; the
+// per-call Parallel ExecOption overrides it. The default is 1
+// (sequential).
+func WithWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
+
+// NewEngine returns an engine over the graph. A nil graph is replaced
+// by an empty one — useful for purely static analysis (widths, certain
+// variables) where no data is involved.
+func NewEngine(g *Graph, opts ...Option) *Engine {
+	if g == nil {
+		g = rdf.NewGraph()
+	}
+	e := &Engine{g: g, alg: core.AlgNaive, pebbleK: 1, workers: 1}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Graph returns the engine's graph.
+func (e *Engine) Graph() *Graph { return e.g }
+
+// Prepare runs the static analysis of the pattern once — the
+// well-designedness check, the wdpf translation, and the compilation
+// of every tree into row programs over one shared slot layout — and
+// returns a reusable PreparedQuery. The widths (domination, branch,
+// local) and the certain variables are computed lazily on first access
+// and cached; everything else is paid here, never again per execution.
+//
+// Prepare fails exactly when the pattern is not well-designed.
+func (e *Engine) Prepare(p Pattern) (*PreparedQuery, error) {
+	an, err := analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{eng: e, an: an, prog: core.CompileForest(an.forest, e.g)}, nil
+}
+
+// MustPrepare is Prepare panicking on error.
+func (e *Engine) MustPrepare(p Pattern) *PreparedQuery {
+	q, err := e.Prepare(p)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// PrepareForest prepares an already-translated wdPF, skipping the
+// pattern-level analysis. Pattern() of the result is nil.
+func (e *Engine) PrepareForest(f Forest) *PreparedQuery {
+	return &PreparedQuery{eng: e, an: &analysis{forest: f}, prog: core.CompileForest(f, e.g)}
+}
+
+// PreparedQuery is a query compiled against an engine's graph. It is
+// immutable and safe for concurrent use: any number of goroutines may
+// run Select/Rows/Count/All/Ask on the same PreparedQuery at once —
+// every execution carries its own scratch state, and the lazily-cached
+// static measures are computed under sync.Once.
+type PreparedQuery struct {
+	eng  *Engine
+	an   *analysis
+	prog *core.ForestProgram
+}
+
+// analysis is the graph-independent static analysis of one pattern:
+// its forest plus the lazily-cached width measures and certain
+// variables. It is shared — between a PreparedQuery and the legacy
+// shims, and across engines preparing the same pattern — so the
+// exponential width computations run at most once per pattern.
+type analysis struct {
+	pattern sparql.Pattern // nil when prepared from a forest
+	forest  ptree.Forest
+
+	dwOnce sync.Once
+	dw     int
+
+	bwOnce sync.Once
+	bw     int
+	bwErr  error
+
+	lwOnce sync.Once
+	lw     int
+
+	cvOnce sync.Once
+	cv     []rdf.Term
+}
+
+// analysisCache memoises static analyses across legacy-shim calls and
+// engines, keyed by the pattern's canonical text. Bounded: once full,
+// new patterns are analysed without being cached (no eviction scans on
+// the hot path).
+var (
+	analysisCache    sync.Map // string → *analysis
+	analysisCacheLen atomic.Int64
+)
+
+const analysisCacheMax = 256
+
+// analyze is the one shared prepare path: every public entry point
+// that accepts a Pattern — Engine.Prepare and all the legacy shims —
+// funnels through here, so the forest of a given pattern is built once
+// even when legacy code calls Solutions, LocalWidth and CertainVars
+// back to back.
+func analyze(p Pattern) (*analysis, error) {
+	key := sparql.Format(p)
+	if v, ok := analysisCache.Load(key); ok {
+		return v.(*analysis), nil
+	}
+	f, err := ptree.WDPF(p)
+	if err != nil {
+		return nil, err
+	}
+	an := &analysis{pattern: p, forest: f}
+	if analysisCacheLen.Load() < analysisCacheMax {
+		if v, loaded := analysisCache.LoadOrStore(key, an); loaded {
+			// A concurrent first analysis won the store: adopt it, so
+			// the pattern keeps a single analysis (and its exponential
+			// width computations run at most once).
+			return v.(*analysis), nil
+		}
+		analysisCacheLen.Add(1)
+	}
+	return an, nil
+}
+
+// The lazily-cached static measures live here, on the shared analysis,
+// so the PreparedQuery methods and the legacy shims populate the same
+// sync.Onces with the same bodies.
+
+func (an *analysis) dominationWidth() int {
+	an.dwOnce.Do(func() { an.dw = core.DominationWidth(an.forest) })
+	return an.dw
+}
+
+func (an *analysis) branchTreewidth() (int, error) {
+	an.bwOnce.Do(func() {
+		if len(an.forest) != 1 {
+			an.bwErr = fmt.Errorf("wdsparql: branch treewidth is defined for UNION-free patterns; forest has %d trees", len(an.forest))
+			return
+		}
+		an.bw = core.BranchTreewidth(an.forest[0])
+	})
+	return an.bw, an.bwErr
+}
+
+func (an *analysis) localWidth() int {
+	an.lwOnce.Do(func() { an.lw = core.LocalWidth(an.forest) })
+	return an.lw
+}
+
+func (an *analysis) certainVars() []rdf.Term {
+	an.cvOnce.Do(func() { an.cv = ptree.CertainVarsForest(an.forest) })
+	return an.cv
+}
+
+// Pattern returns the prepared pattern, or nil when the query was
+// prepared from a forest.
+func (q *PreparedQuery) Pattern() Pattern { return q.an.pattern }
+
+// Forest returns the query's well-designed pattern forest. Callers
+// must not mutate it.
+func (q *PreparedQuery) Forest() Forest { return q.an.forest }
+
+// Layout returns the slot layout shared by all rows of the query.
+func (q *PreparedQuery) Layout() *SlotLayout { return q.prog.Layout() }
+
+// DominationWidth returns dw(P) (Definition 2), computed on first call
+// and cached. Exponential in |P| — a static property of the query.
+func (q *PreparedQuery) DominationWidth() int { return q.an.dominationWidth() }
+
+// BranchTreewidth returns bw(P) (Definition 3), defined for UNION-free
+// patterns (single-tree forests); by Proposition 5 it equals dw(P)
+// there. Computed on first call and cached.
+func (q *PreparedQuery) BranchTreewidth() (int, error) { return q.an.branchTreewidth() }
+
+// LocalWidth returns the local-tractability width of Letelier et al.,
+// computed on first call and cached.
+func (q *PreparedQuery) LocalWidth() int { return q.an.localWidth() }
+
+// CertainVars returns the variables bound in every solution over every
+// graph, computed on first call and cached. Callers must not mutate
+// the returned slice.
+func (q *PreparedQuery) CertainVars() []Term { return q.an.certainVars() }
+
+// ExecOption configures one execution of a prepared query.
+type ExecOption func(*execConfig)
+
+type execConfig struct {
+	limit   int // < 0: unlimited
+	offset  int
+	workers int
+}
+
+// Limit caps the number of solutions streamed (or materialised) by the
+// call; the enumeration stops as soon as the cap is reached. Limit(0)
+// yields no solutions; a negative n means unlimited (the default).
+func Limit(n int) ExecOption { return func(c *execConfig) { c.limit = n } }
+
+// Offset skips the first n solutions of the stream. Combined with
+// Limit this is the classic pagination pair: the stream still stops
+// early after offset+limit solutions, never materialising the rest.
+func Offset(n int) ExecOption { return func(c *execConfig) { c.offset = n } }
+
+// Parallel runs the enumeration on a pool of n workers, partitioned
+// across root-homomorphism rows. The stream is identical to the
+// sequential one (same solutions, same order); n ≤ 1 is sequential.
+// Overrides the engine-wide WithWorkers default for this call.
+func Parallel(n int) ExecOption { return func(c *execConfig) { c.workers = n } }
+
+func (q *PreparedQuery) config(opts []ExecOption) execConfig {
+	cfg := execConfig{limit: -1, offset: 0, workers: q.eng.workers}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// stream drives one execution: Limit/Offset windowing over the
+// early-terminating row iterator, sequential or parallel. The returned
+// error is ctx.Err() — nil unless the context ended the stream.
+func (q *PreparedQuery) stream(ctx context.Context, cfg execConfig, yield func(rdf.Row) bool) error {
+	if cfg.limit == 0 {
+		return ctx.Err()
+	}
+	skip, remaining := cfg.offset, cfg.limit
+	emit := func(r rdf.Row) bool {
+		if skip > 0 {
+			skip--
+			return true
+		}
+		if !yield(r) {
+			return false
+		}
+		if remaining > 0 {
+			remaining--
+			if remaining == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if cfg.workers > 1 {
+		return q.prog.RowsParallel(ctx, cfg.workers, emit)
+	}
+	return q.prog.RowsContext(ctx, emit)
+}
+
+// Rows streams ⟦P⟧G as ID-native rows — the zero-decode tier for hot
+// callers; no strings are touched. Each solution is yielded exactly
+// once, in the deterministic enumeration order. The yielded Row
+// aliases the enumeration's working row: it is valid only during the
+// yield; Clone to retain. Breaking out of the range loop stops the
+// enumeration immediately; cancelling ctx does the same at the next
+// yield boundary (check ctx.Err() after the loop to distinguish a
+// complete stream from a cancelled one).
+func (q *PreparedQuery) Rows(ctx context.Context, opts ...ExecOption) iter.Seq[Row] {
+	cfg := q.config(opts)
+	return func(yield func(Row) bool) {
+		q.stream(ctx, cfg, func(r rdf.Row) bool { return yield(r) })
+	}
+}
+
+// Select streams ⟦P⟧G as Mappings, decoded at the yield boundary —
+// the ergonomic tier. Early termination and cancellation behave as in
+// Rows; each yielded Mapping is freshly allocated and owned by the
+// caller.
+func (q *PreparedQuery) Select(ctx context.Context, opts ...ExecOption) iter.Seq[Mapping] {
+	cfg := q.config(opts)
+	return func(yield func(Mapping) bool) {
+		d := q.eng.g.Dict()
+		layout := q.prog.Layout()
+		q.stream(ctx, cfg, func(r rdf.Row) bool {
+			return yield(layout.DecodeRow(d, r))
+		})
+	}
+}
+
+// Count returns |⟦P⟧G| (after Limit/Offset windowing, if any) without
+// decoding or materialising any solution.
+func (q *PreparedQuery) Count(ctx context.Context, opts ...ExecOption) (int, error) {
+	n := 0
+	err := q.stream(ctx, q.config(opts), func(rdf.Row) bool {
+		n++
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// All materialises ⟦P⟧G as a MappingSet — the convenience tier,
+// equivalent to collecting Select.
+func (q *PreparedQuery) All(ctx context.Context, opts ...ExecOption) (*MappingSet, error) {
+	out := rdf.NewMappingSet()
+	d := q.eng.g.Dict()
+	layout := q.prog.Layout()
+	err := q.stream(ctx, q.config(opts), func(r rdf.Row) bool {
+		out.Add(layout.DecodeRow(d, r))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Ask decides wdEVAL — whether µ ∈ ⟦P⟧G — with the engine's algorithm
+// (WithAlgorithm, WithPebbleK). Cancellation is polled between the
+// trees of the forest.
+func (q *PreparedQuery) Ask(ctx context.Context, mu Mapping) (bool, error) {
+	if q.eng.alg == AlgPebble && q.eng.pebbleK < 1 {
+		return false, fmt.Errorf("wdsparql: the pebble algorithm requires k ≥ 1, got WithPebbleK(%d)", q.eng.pebbleK)
+	}
+	return core.EvalContext(ctx, q.eng.alg, q.eng.pebbleK, q.an.forest, q.eng.g, mu)
+}

@@ -1,13 +1,14 @@
 // Clique reduction: Theorem 2 run forwards. The program builds random
 // host graphs H, compiles each (H, k) p-CLIQUE instance into a
 // co-wdEVAL instance (query P from the unbounded-width grid family,
-// data G = frozen Lemma-2 structure B, mapping µ), decides it with the
-// natural algorithm, and checks the verdict against a direct clique
-// search — demonstrating that evaluation of unbounded-domination-width
-// classes embeds W[1]-hard problems.
+// data G = frozen Lemma-2 structure B, mapping µ), decides it through
+// the prepared-query engine, and checks the verdict against a direct
+// clique search — demonstrating that evaluation of
+// unbounded-domination-width classes embeds W[1]-hard problems.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -18,6 +19,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(2018))
 	fmt.Println("p-CLIQUE through co-wdEVAL (Section 4 reduction)")
 	fmt.Println("k   |V(H)|  |E(H)|  |G|     clique-via-eval  direct  agree")
@@ -35,7 +37,15 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			viaEval := in.SolveCliqueViaEval()
+			// Theorem 2: H has a k-clique iff µ ∉ ⟦P⟧G. The instance's
+			// query is a forest, so it enters the engine via
+			// PrepareForest; Ask runs the engine's wdEVAL algorithm.
+			q := wdsparql.NewEngine(in.G).PrepareForest(in.Forest)
+			member, err := q.Ask(ctx, in.Mu)
+			if err != nil {
+				log.Fatal(err)
+			}
+			viaEval := !member
 			direct := graphalg.HasClique(h, k)
 			fmt.Printf("%-3d %-7d %-7d %-7d %-16v %-7v %v\n",
 				k, n, h.EdgeCount(), in.G.Len(), viaEval, direct, viaEval == direct)
@@ -62,5 +72,10 @@ func main() {
 		len(in.B.S), in.G.Len())
 	homHolds, clique := in.HomAgreesWithClique()
 	fmt.Printf("  (S,X)→(B,X): %v; H has 3-clique: %v (Lemma 2 item 3)\n", homHolds, clique)
-	fmt.Printf("  µ ∉ ⟦P⟧G: %v (Theorem 2: equivalent to the clique)\n", in.SolveCliqueViaEval())
+	q := wdsparql.NewEngine(in.G).PrepareForest(in.Forest)
+	member, err := q.Ask(ctx, in.Mu)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  µ ∉ ⟦P⟧G: %v (Theorem 2: equivalent to the clique)\n", !member)
 }

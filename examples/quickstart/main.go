@@ -1,9 +1,14 @@
-// Quickstart: parse a well-designed pattern, evaluate it over a small
-// RDF graph, compute its widths, and decide membership of a single
-// mapping with both algorithms.
+// Quickstart: the prepared-query lifecycle. Parse a well-designed
+// pattern, prepare it once against a small RDF graph (the static
+// analysis — well-designedness, wdpf translation, row-program
+// compilation — happens here, never again), then execute it many ways:
+// stream the solutions, page through them with Limit/Offset, count
+// them without decoding, and decide membership of single mappings with
+// both algorithms.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,12 +16,11 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A person listing with an optional email: the OPTIONAL operator
 	// keeps people without an email in the result.
 	pattern := wdsparql.MustParsePattern(`((?p knows ?q) OPT (?p email ?m))`)
-	if !wdsparql.IsWellDesigned(pattern) {
-		log.Fatal("pattern should be well-designed")
-	}
 
 	data := wdsparql.MustParseGraph(`
 alice knows bob .
@@ -24,33 +28,62 @@ bob   knows carol .
 alice email alice@example.org .
 `)
 
-	solutions, err := wdsparql.Solutions(pattern, data)
+	// Compile once. Prepare fails exactly when the pattern is not
+	// well-designed; the returned query is immutable and can serve any
+	// number of concurrent executions.
+	engine := wdsparql.NewEngine(data)
+	q, err := engine.Prepare(pattern)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Stream ⟦P⟧G: solutions are decoded one at a time at the yield
+	// boundary; breaking out of the loop stops the enumeration.
 	fmt.Println("solutions of ⟦P⟧G:")
-	for _, mu := range solutions.Slice() {
+	for mu := range q.Select(ctx) {
 		fmt.Println(" ", mu)
 	}
 
-	dw, err := wdsparql.DominationWidth(pattern)
+	// Pagination without materialising the rest: the enumeration stops
+	// as soon as the window is filled.
+	page, err := q.All(ctx, wdsparql.Limit(1), wdsparql.Offset(1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	bw, err := wdsparql.BranchTreewidth(pattern)
+	fmt.Printf("page 2 (limit 1, offset 1): %v\n", page.Slice())
+
+	// Cardinality without decoding a single term.
+	n, err := q.Count(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("count: %d\n", n)
+
+	// The width measures are part of the prepared query's static
+	// analysis: computed on first access, cached forever.
+	dw := q.DominationWidth()
+	bw, err := q.BranchTreewidth()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("domination width %d, branch treewidth %d (equal by Prop. 5)\n", dw, bw)
 
 	// Decide a single membership with both algorithms: bob has no
-	// email, so µ = {p↦bob, q↦carol} is a (maximal) solution.
+	// email, so µ = {p↦bob, q↦carol} is a (maximal) solution. Ask uses
+	// the engine's algorithm — prepare the same pattern on a second,
+	// pebble-configured engine; the static analysis is shared between
+	// them, not redone.
 	mu := wdsparql.Mapping{"p": "bob", "q": "carol"}
-	naive, err := wdsparql.Evaluate(wdsparql.AlgNaive, 1, pattern, data, mu)
+	naive, err := q.Ask(ctx, mu)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pebble, err := wdsparql.Evaluate(wdsparql.AlgPebble, dw, pattern, data, mu)
+	pq, err := wdsparql.NewEngine(data,
+		wdsparql.WithAlgorithm(wdsparql.AlgPebble), wdsparql.WithPebbleK(dw)).Prepare(pattern)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pebble, err := pq.Ask(ctx, mu)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,12 +2,14 @@
 // The query asks for pairs of acquainted people with the employer of
 // the first and the email of the second, both optional — the classic
 // "preserve partial information" use case that motivates OPT in the
-// paper's introduction. The example compares the compositional
-// semantics against the pattern-forest evaluation and decides a batch
-// of memberships with the Theorem 1 algorithm.
+// paper's introduction. The example prepares the query once, streams
+// the solution shapes, cross-checks the prepared pipeline against the
+// compositional semantics, and re-decides a batch of memberships with
+// the Theorem 1 algorithm through a pebble-configured engine.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,30 +18,38 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	pattern := wdsparql.MustParsePattern(`
 		(((?p knows ?q) OPT (?p worksAt ?org)) OPT (?q email ?m))`)
-	if err := wdsparql.CheckWellDesigned(pattern); err != nil {
-		log.Fatal(err)
-	}
 
 	data := gen.SocialNetwork(60, 1)
 	fmt.Printf("data: %d triples over %d IRIs\n", data.Len(), data.DomSize())
 
-	ref := wdsparql.EvalCompositional(pattern, data)
-	viaForest, err := wdsparql.Solutions(pattern, data)
+	// Prepare once; the same PreparedQuery serves every execution
+	// below (it is immutable and goroutine-safe).
+	engine := wdsparql.NewEngine(data)
+	q, err := engine.Prepare(pattern)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("solutions: compositional=%d, pattern-forest=%d (must agree)\n",
-		ref.Len(), viaForest.Len())
-	if ref.Len() != viaForest.Len() {
+
+	// Cross-check the prepared pipeline against the compositional
+	// Pérez-et-al. reference semantics.
+	ref := wdsparql.EvalCompositional(pattern, data)
+	count, err := q.Count(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solutions: compositional=%d, prepared=%d (must agree)\n", ref.Len(), count)
+	if ref.Len() != count {
 		log.Fatal("evaluators disagree")
 	}
 
-	// Show a handful of solutions with different shapes (bare pair,
-	// pair+org, pair+email, all four bindings).
+	// Stream the solutions and bucket them by shape (bare pair,
+	// pair+org, pair+email, all four bindings) — no materialised set.
 	byDomSize := map[int]int{}
-	for _, mu := range ref.Slice() {
+	for mu := range q.Select(ctx) {
 		byDomSize[len(mu)]++
 	}
 	fmt.Println("solution shapes (|dom(µ)| → count):")
@@ -47,16 +57,31 @@ func main() {
 		fmt.Printf("  %d bindings: %d\n", size, byDomSize[size])
 	}
 
-	dw, err := wdsparql.DominationWidth(pattern)
+	// A result page, enumerated lazily: the stream stops after
+	// offset+limit solutions.
+	page, err := q.All(ctx, wdsparql.Limit(3), wdsparql.Offset(5))
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("page (limit 3, offset 5): %d solutions\n", page.Len())
+
+	// The domination width certifies that the pebble algorithm with
+	// k = dw is exact; it is cached on the prepared query.
+	dw := q.DominationWidth()
 	fmt.Printf("domination width: %d → pebble algorithm with k=%d is exact\n", dw, dw)
 
-	// Batch membership decisions with the PTIME algorithm.
+	// Batch membership decisions with the PTIME algorithm: a second
+	// engine over the same data, configured for pebble evaluation. The
+	// static analysis of the pattern is shared with q, not recomputed.
+	pebbleEng := wdsparql.NewEngine(data,
+		wdsparql.WithAlgorithm(wdsparql.AlgPebble), wdsparql.WithPebbleK(dw))
+	pq, err := pebbleEng.Prepare(pattern)
+	if err != nil {
+		log.Fatal(err)
+	}
 	accepted := 0
-	for _, mu := range ref.Slice() {
-		ok, err := wdsparql.Evaluate(wdsparql.AlgPebble, dw, pattern, data, mu)
+	for mu := range q.Select(ctx) {
+		ok, err := pq.Ask(ctx, mu)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -64,5 +89,5 @@ func main() {
 			accepted++
 		}
 	}
-	fmt.Printf("pebble algorithm re-accepts %d/%d solutions\n", accepted, ref.Len())
+	fmt.Printf("pebble algorithm re-accepts %d/%d solutions\n", accepted, count)
 }

@@ -3,18 +3,24 @@
 // each k the program reports ctw of the Figure 1 t-graphs, dw and
 // local width of the wdPF F_k (Figure 2), and bw of the UNION-free
 // family T'_k, showing where the previously known local-tractability
-// condition fails while the new measures stay bounded.
+// condition fails while the new measures stay bounded. The forest
+// families are prepared on a data-less engine: the width measures are
+// part of a prepared query's cached static analysis.
 package main
 
 import (
 	"fmt"
 
+	"wdsparql"
 	"wdsparql/internal/core"
 	"wdsparql/internal/gen"
 	"wdsparql/internal/ptree"
 )
 
 func main() {
+	// A purely static engine: no data, only query analysis.
+	engine := wdsparql.NewEngine(nil)
+
 	fmt.Println("Figure 1 (Example 3): ctw(S,X) grows, ctw(S',X) stays 1")
 	fmt.Println("k   ctw(S,X)   tw(S',X)   ctw(S',X)")
 	for k := 2; k <= 6; k++ {
@@ -26,18 +32,20 @@ func main() {
 	fmt.Println("Figure 2 (Examples 4-5): dw(F_k)=1 but F_k is not locally tractable")
 	fmt.Println("k   dw(F_k)   localWidth(F_k)")
 	for k := 2; k <= 5; k++ {
-		f := gen.Fk(k)
-		fmt.Printf("%-3d %-9d %d\n", k, core.DominationWidth(f), core.LocalWidth(f))
+		q := engine.PrepareForest(gen.Fk(k))
+		fmt.Printf("%-3d %-9d %d\n", k, q.DominationWidth(), q.LocalWidth())
 	}
 
 	fmt.Println()
 	fmt.Println("Section 3.2: bw(T'_k)=1 (=dw by Prop. 5) but local width = k-1")
 	fmt.Println("k   bw   dw   localWidth")
 	for k := 2; k <= 5; k++ {
-		tk := gen.TkPrime(k)
-		f := ptree.Forest{tk}
-		fmt.Printf("%-3d %-4d %-4d %d\n", k,
-			core.BranchTreewidth(tk), core.DominationWidth(f), core.LocalWidth(f))
+		q := engine.PrepareForest(ptree.Forest{gen.TkPrime(k)})
+		bw, err := q.BranchTreewidth()
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-3d %-4d %-4d %d\n", k, bw, q.DominationWidth(), q.LocalWidth())
 	}
 
 	fmt.Println()
@@ -54,9 +62,12 @@ func main() {
 	fmt.Println("Unbounded families: CliqueChild and GridChild widths")
 	fmt.Println("k   dw(CliqueChild_k)   bw(GridChild_{k,k})")
 	for k := 2; k <= 4; k++ {
-		ck := gen.CliqueChild(k)
-		gk := gen.GridChild(k, k)
-		fmt.Printf("%-3d %-19d %d\n", k,
-			core.DominationWidth(ptree.Forest{ck}), core.BranchTreewidth(gk))
+		ck := engine.PrepareForest(ptree.Forest{gen.CliqueChild(k)})
+		gk := engine.PrepareForest(ptree.Forest{gen.GridChild(k, k)})
+		bw, err := gk.BranchTreewidth()
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-3d %-19d %d\n", k, ck.DominationWidth(), bw)
 	}
 }

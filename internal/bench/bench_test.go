@@ -172,9 +172,24 @@ func TestE9Agreement(t *testing.T) {
 	}
 }
 
+func TestE10Agreement(t *testing.T) {
+	tbl := E10PreparedVsOneShot([]int{32, 64}, 4)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[2] == "0" {
+			t.Fatalf("E10 must enumerate a non-empty result: %v", row)
+		}
+		if row[len(row)-1] != "true" {
+			t.Fatalf("one-shot and prepared execution must agree: %v", row)
+		}
+	}
+}
+
 func TestSuiteComposition(t *testing.T) {
 	tables := Suite(false)
-	if len(tables) != 9 {
+	if len(tables) != 10 {
 		t.Fatalf("suite size: %d", len(tables))
 	}
 	ids := map[string]bool{}
@@ -189,7 +204,7 @@ func TestSuiteComposition(t *testing.T) {
 			}
 		}
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
 		if !ids[id] {
 			t.Fatalf("missing %s", id)
 		}

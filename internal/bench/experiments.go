@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"wdsparql"
 	"wdsparql/internal/core"
 	"wdsparql/internal/gen"
 	"wdsparql/internal/graphalg"
@@ -350,6 +352,74 @@ func E9Enumeration(ns []int, workers int) *Table {
 	return t
 }
 
+// E10PatternText is the E9 enumeration workload written as a graph
+// pattern, so it can enter the public engine API through Prepare: the
+// root edge with one optional two-step chain and one optional
+// attribute arm (the wdpf of this pattern is exactly E9Tree).
+const E10PatternText = `(((?x p0 ?y) OPT ((?y p1 ?z) OPT (?z p2 ?u))) OPT (?y p3 ?w))`
+
+// E10PreparedVsOneShot measures the prepare/execute split of the
+// engine API on repeated-query workloads: reps× the deprecated
+// one-shot Solutions (engine thrown away each call, forest re-compiled
+// against the graph) against one Engine.Prepare followed by reps×
+// PreparedQuery executions — materialising All and zero-decode Count.
+// The verdict column cross-checks all cardinalities.
+func E10PreparedVsOneShot(ns []int, reps int) *Table {
+	t := &Table{
+		ID:    "E10",
+		Title: "prepared-query amortization: Prepare once + N×execute vs N×Solutions",
+		Claim: "prepared execution beats one-shot Solutions on repeated-query workloads",
+		Header: []string{"n", "|G|", "rows", fmt.Sprintf("N=%d", reps),
+			"one-shot", "prepare", "N×All", "N×Count", "agree"},
+	}
+	ctx := context.Background()
+	p := wdsparql.MustParsePattern(E10PatternText)
+	for _, n := range ns {
+		g := E9Data(n)
+		agree := true
+		var want int
+		dOne := timed(func() {
+			for r := 0; r < reps; r++ {
+				set, err := wdsparql.Solutions(p, g)
+				if err != nil {
+					panic(err)
+				}
+				if r == 0 {
+					want = set.Len()
+				} else if set.Len() != want {
+					agree = false
+				}
+			}
+		})
+		eng := wdsparql.NewEngine(g)
+		var q *wdsparql.PreparedQuery
+		var err error
+		dPrep := timed(func() { q, err = eng.Prepare(p) })
+		if err != nil {
+			panic(err)
+		}
+		dAll := timed(func() {
+			for r := 0; r < reps; r++ {
+				set, err := q.All(ctx)
+				if err != nil || set.Len() != want {
+					agree = false
+				}
+			}
+		})
+		dCount := timed(func() {
+			for r := 0; r < reps; r++ {
+				c, err := q.Count(ctx)
+				if err != nil || c != want {
+					agree = false
+				}
+			}
+		})
+		t.AddRow(fmt.Sprint(n), fmt.Sprint(g.Len()), fmt.Sprint(want), "",
+			ms(dOne), ms(dPrep), ms(dAll), ms(dCount), fmt.Sprint(agree))
+	}
+	return t
+}
+
 // Experiment is a named, lazily-run experiment: Run executes the
 // sweeps and builds the table. Callers that only want some experiments
 // (wdbench -only, profiling runs) filter by ID before paying for
@@ -359,7 +429,7 @@ type Experiment struct {
 	Run func() *Table
 }
 
-// Experiments returns the E1..E9 suite as lazily-run experiments.
+// Experiments returns the E1..E10 suite as lazily-run experiments.
 func Experiments(full bool, workers int) []Experiment {
 	e3Max := 6
 	if full {
@@ -375,6 +445,7 @@ func Experiments(full bool, workers int) []Experiment {
 		{"E7", func() *Table { return E7DataScaling(3, []int{12, 24, 48, 96, 192}) }},
 		{"E8", func() *Table { return E8BatchEval(3, 24, workers) }},
 		{"E9", func() *Table { return E9Enumeration([]int{64, 128, 256}, workers) }},
+		{"E10", func() *Table { return E10PreparedVsOneShot([]int{64, 128, 256}, 32) }},
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"wdsparql/internal/hom"
@@ -163,4 +164,21 @@ func Eval(a Algorithm, k int, f ptree.Forest, g *rdf.Graph, mu rdf.Mapping) bool
 		return EvalPebble(k, f, g, mu)
 	}
 	panic("core: unknown algorithm")
+}
+
+// EvalContext is Eval with cooperative cancellation, polled between
+// trees of the forest (the natural unit of work: each tree's decision
+// is one FindMatchedSubtree plus its extension tests). A cancelled
+// context yields (false, ctx.Err()); an uncancelled run returns the
+// exact Eval verdict with a nil error.
+func EvalContext(ctx context.Context, a Algorithm, k int, f ptree.Forest, g *rdf.Graph, mu rdf.Mapping) (bool, error) {
+	for _, t := range f {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		if Eval(a, k, ptree.Forest{t}, g, mu) {
+			return true, nil
+		}
+	}
+	return false, ctx.Err()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -89,11 +90,28 @@ func (fp *ForestProgram) compileNode(n *ptree.Node) *compiledNode {
 func (fp *ForestProgram) Layout() *rdf.SlotLayout { return fp.layout }
 
 // enumState is the per-enumeration scratch: one RowSearcher per node
-// and the single row the partial solution lives in.
+// and the single row the partial solution lives in. stop, when non-nil,
+// is polled at every yield boundary; once it reports true the whole
+// enumeration unwinds as if yield had returned false — this is how
+// context cancellation reaches the innermost recursion without the hot
+// path paying for a channel read per row when no context is attached.
 type enumState struct {
 	fp        *ForestProgram
 	searchers []*hom.RowSearcher
 	row       rdf.Row
+	stop      func() bool
+}
+
+func (st *enumState) stopped() bool { return st.stop != nil && st.stop() }
+
+// ctxStop returns the stop predicate for ctx, or nil when ctx can never
+// be cancelled (context.Background and friends), keeping the
+// uncancellable path free of per-yield checks.
+func ctxStop(ctx context.Context) func() bool {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
 }
 
 func (fp *ForestProgram) newState() *enumState {
@@ -140,6 +158,9 @@ func (st *enumState) enumerateTree(root *compiledNode, yield func(rdf.Row) bool)
 // child.
 func (st *enumState) extendThrough(cs []*compiledNode, i int, yield func(rdf.Row) bool) bool {
 	if i == len(cs) {
+		if st.stopped() {
+			return false
+		}
 		return yield(st.row)
 	}
 	c := cs[i]
@@ -180,7 +201,10 @@ func (st *enumState) extendThrough(cs []*compiledNode, i int, yield func(rdf.Row
 func (st *enumState) childSolutions(c *compiledNode) [][]rdf.TermID {
 	var out [][]rdf.TermID
 	st.searchers[c.idx].Run(st.row, func() bool {
-		st.extendThrough(c.children, 0, func(rdf.Row) bool {
+		// The inner yield always continues, so extendThrough returns
+		// false only when the state has been stopped — propagate that
+		// so the searcher unwinds instead of materialising the rest.
+		return st.extendThrough(c.children, 0, func(rdf.Row) bool {
 			snap := make([]rdf.TermID, len(c.subSlots))
 			for j, s := range c.subSlots {
 				snap[j] = st.row[s]
@@ -188,7 +212,6 @@ func (st *enumState) childSolutions(c *compiledNode) [][]rdf.TermID {
 			out = append(out, snap)
 			return true
 		})
-		return true
 	})
 	return out
 }
@@ -199,10 +222,22 @@ func (st *enumState) childSolutions(c *compiledNode) [][]rdf.TermID {
 // multi-tree forests filter duplicates across trees through an
 // IDMappingSet of the rows already emitted.
 func (fp *ForestProgram) Rows(yield func(rdf.Row) bool) {
+	fp.RowsContext(context.Background(), yield)
+}
+
+// RowsContext is Rows with cooperative cancellation: the context is
+// polled at every yield boundary, so cancelling it stops the
+// enumeration as promptly as yield returning false would — the same
+// contract, extended to ctx.Done(). It returns ctx.Err(), i.e. nil on
+// a run to exhaustion or an early stop through yield, and the
+// cancellation cause when the context ended the stream. Contexts that
+// can never be cancelled add no per-row overhead.
+func (fp *ForestProgram) RowsContext(ctx context.Context, yield func(rdf.Row) bool) error {
 	st := fp.newState()
+	st.stop = ctxStop(ctx)
 	if len(fp.roots) == 1 {
 		st.enumerateTree(fp.roots[0], yield)
-		return
+		return ctx.Err()
 	}
 	seen := rdf.NewIDMappingSet(fp.layout, fp.g.Dict().NumIRIs())
 	for _, root := range fp.roots {
@@ -212,9 +247,10 @@ func (fp *ForestProgram) Rows(yield func(rdf.Row) bool) {
 			}
 			return yield(r)
 		}) {
-			return
+			break
 		}
 	}
+	return ctx.Err()
 }
 
 // EnumerateSet materialises ⟦F⟧G as a deduplicated row set.
@@ -230,15 +266,27 @@ func (fp *ForestProgram) EnumerateSet() *rdf.IDMappingSet {
 	return out
 }
 
-// EnumerateParallel materialises ⟦F⟧G with the per-tree enumeration
-// work partitioned across root-homomorphism rows on a worker pool.
-// workers ≤ 1 degrades to EnumerateSet. The result is identical to
-// EnumerateSet, including insertion order (work items are merged in
-// their sequential order).
-func (fp *ForestProgram) EnumerateParallel(workers int) *rdf.IDMappingSet {
+// RowsParallel streams ⟦F⟧G with the enumeration work partitioned
+// across root-homomorphism rows on a worker pool of the given size.
+// The stream is identical to RowsContext — same rows, same order —
+// because completed work items are merged in their sequential order;
+// workers ≤ 1 degrades to the sequential path. yield runs on the
+// calling goroutine only. Cancelling ctx (or yield returning false)
+// stops every worker at its next yield boundary, and RowsParallel does
+// not return before all workers have exited, so an early stop leaks no
+// goroutines. The returned error is the caller's ctx.Err(): nil for
+// exhaustion or a yield-initiated stop, the cancellation cause
+// otherwise.
+func (fp *ForestProgram) RowsParallel(ctx context.Context, workers int, yield func(rdf.Row) bool) error {
 	if workers <= 1 {
-		return fp.EnumerateSet()
+		return fp.RowsContext(ctx, yield)
 	}
+	// inner is cancelled either by the caller's ctx or by yield ending
+	// the stream; every worker polls it at yield boundaries.
+	inner, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := func() bool { return inner.Err() != nil }
+
 	// Materialise the root rows of every tree: they partition the
 	// enumeration into independent units.
 	type item struct {
@@ -247,9 +295,13 @@ func (fp *ForestProgram) EnumerateParallel(workers int) *rdf.IDMappingSet {
 	}
 	var items []item
 	st := fp.newState()
+	st.stop = stop
 	for _, root := range fp.roots {
 		row := fp.layout.NewRow()
 		st.searchers[root.idx].Run(row, func() bool {
+			if stop() {
+				return false
+			}
 			items = append(items, item{root: root, row: row.Clone()})
 			return true
 		})
@@ -258,6 +310,10 @@ func (fp *ForestProgram) EnumerateParallel(workers int) *rdf.IDMappingSet {
 		workers = len(items)
 	}
 	results := make([][]rdf.Row, len(items))
+	ready := make([]chan struct{}, len(items))
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
 	next := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -265,6 +321,7 @@ func (fp *ForestProgram) EnumerateParallel(workers int) *rdf.IDMappingSet {
 		go func() {
 			defer wg.Done()
 			ws := fp.newState()
+			ws.stop = stop
 			for i := range next {
 				copy(ws.row, items[i].row)
 				var local []rdf.Row
@@ -273,20 +330,59 @@ func (fp *ForestProgram) EnumerateParallel(workers int) *rdf.IDMappingSet {
 					return true
 				})
 				results[i] = local
+				close(ready[i])
 			}
 		}()
 	}
-	for i := range items {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	out := rdf.NewIDMappingSet(fp.layout, fp.g.Dict().NumIRIs())
-	for _, rows := range results {
-		for _, r := range rows {
-			out.Add(r)
+	// The feeder gives up (closing next, which drains the pool) as soon
+	// as the run is cancelled; until then it hands out items in order.
+	go func() {
+		defer close(next)
+		for i := range items {
+			select {
+			case next <- i:
+			case <-inner.Done():
+				return
+			}
 		}
+	}()
+	var seen *rdf.IDMappingSet
+	if len(fp.roots) > 1 {
+		seen = rdf.NewIDMappingSet(fp.layout, fp.g.Dict().NumIRIs())
 	}
+merge:
+	for i := range items {
+		select {
+		case <-ready[i]:
+		case <-inner.Done():
+			break merge
+		}
+		for _, r := range results[i] {
+			if seen != nil && !seen.Add(r) {
+				continue // duplicate across trees
+			}
+			if !yield(r) {
+				break merge
+			}
+		}
+		results[i] = nil // release the merged batch
+	}
+	cancel()
+	wg.Wait()
+	return ctx.Err()
+}
+
+// EnumerateParallel materialises ⟦F⟧G with the per-tree enumeration
+// work partitioned across root-homomorphism rows on a worker pool.
+// workers ≤ 1 degrades to EnumerateSet. The result is identical to
+// EnumerateSet, including insertion order (work items are merged in
+// their sequential order).
+func (fp *ForestProgram) EnumerateParallel(workers int) *rdf.IDMappingSet {
+	out := rdf.NewIDMappingSet(fp.layout, fp.g.Dict().NumIRIs())
+	fp.RowsParallel(context.Background(), workers, func(r rdf.Row) bool {
+		out.Add(r)
+		return true
+	})
 	return out
 }
 

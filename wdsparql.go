@@ -15,22 +15,46 @@
 //     (Definition 3), domination width (Definition 2) and local
 //     tractability width;
 //   - two decision procedures for wdEVAL: the natural algorithm
-//     (Evaluate with AlgNaive) and the polynomial-time Theorem 1
-//     algorithm based on the existential pebble game (AlgPebble);
+//     (AlgNaive) and the polynomial-time Theorem 1 algorithm based on
+//     the existential pebble game (AlgPebble);
 //   - the Section 4 hardness reduction from p-CLIQUE (package-level
 //     access through SolveCliqueViaReduction).
+//
+// The production entry point is the prepared-query engine: an Engine
+// captures a graph and its options, Prepare runs the static analysis
+// of a pattern exactly once, and the returned PreparedQuery streams
+// any number of executions — the compile-once / stream-many split that
+// makes per-query tractability pay off on repeated workloads.
 //
 // Quickstart:
 //
 //	pattern := wdsparql.MustParsePattern(`((?p knows ?q) OPT (?p email ?m))`)
 //	data := wdsparql.MustParseGraph("alice knows bob .\nalice email a@x .")
-//	solutions := wdsparql.Solutions(pattern, data)
+//
+//	engine := wdsparql.NewEngine(data)
+//	q, err := engine.Prepare(pattern) // static analysis, once
+//	if err != nil { ... }             // not well-designed
+//
+//	for mu := range q.Select(ctx) {   // stream ⟦P⟧G, decoded
+//		fmt.Println(mu)
+//	}
+//	first, _ := q.All(ctx, wdsparql.Limit(10))  // materialise a page
+//	n, _ := q.Count(ctx)                        // cardinality, no decode
+//	ok, _ := q.Ask(ctx, wdsparql.Mapping{"p": "alice", "q": "bob"})
+//
+// A PreparedQuery is immutable and safe for concurrent use; cancelling
+// ctx stops any stream (and its parallel workers) at the next yield
+// boundary. The free functions (Solutions, Evaluate, LocalWidth, ...)
+// remain as thin deprecated shims over a throwaway engine.
 //
 // See examples/ for complete programs and DESIGN.md for the mapping
-// from the paper's definitions to packages.
+// from the paper's definitions to packages and the Engine API
+// contract.
 package wdsparql
 
 import (
+	"context"
+
 	"wdsparql/internal/core"
 	"wdsparql/internal/graphalg"
 	"wdsparql/internal/hom"
@@ -103,68 +127,105 @@ func IsWellDesigned(p Pattern) bool { return sparql.IsWellDesigned(p) }
 func CheckWellDesigned(p Pattern) error { return sparql.CheckWellDesigned(p) }
 
 // ToForest translates a well-designed pattern into an equivalent wdPF
-// in NR normal form (the paper's wdpf function).
-func ToForest(p Pattern) (Forest, error) { return ptree.WDPF(p) }
+// in NR normal form (the paper's wdpf function). The translation is
+// memoised through the shared prepare path.
+func ToForest(p Pattern) (Forest, error) {
+	an, err := analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	return an.forest, nil
+}
 
 // EvalCompositional computes ⟦P⟧G by the direct Pérez-et-al.
 // semantics; exponential in the worst case, exact always.
 func EvalCompositional(p Pattern, g *Graph) *MappingSet { return sparql.Eval(p, g) }
 
 // Solutions computes ⟦P⟧G of a well-designed pattern through its
-// pattern-forest form (Lemma 1 enumeration).
+// pattern-forest form.
+//
+// Deprecated: Solutions re-compiles the query against the graph on
+// every call. Use Engine.Prepare once and PreparedQuery.All (or the
+// streaming Select/Rows) per execution.
 func Solutions(p Pattern, g *Graph) (*MappingSet, error) {
-	f, err := ptree.WDPF(p)
+	q, err := NewEngine(g).Prepare(p)
 	if err != nil {
 		return nil, err
 	}
-	return core.EnumerateForest(f, g), nil
+	return q.All(context.Background())
 }
 
 // Evaluate decides wdEVAL — whether µ ∈ ⟦P⟧G — with the selected
 // algorithm. k is the domination-width bound used by AlgPebble
 // (correctness is guaranteed when dw(P) ≤ k); it is ignored by
 // AlgNaive.
+//
+// Deprecated: use Engine.Prepare with WithAlgorithm/WithPebbleK and
+// PreparedQuery.Ask, which amortise the pattern analysis across calls.
 func Evaluate(alg Algorithm, k int, p Pattern, g *Graph, mu Mapping) (bool, error) {
-	f, err := ptree.WDPF(p)
+	an, err := analyze(p)
 	if err != nil {
 		return false, err
 	}
-	return core.Eval(alg, k, f, g, mu), nil
+	return core.Eval(alg, k, an.forest, g, mu), nil
 }
 
 // EvaluateForest is Evaluate on an already-translated forest.
+//
+// Deprecated: use Engine.PrepareForest and PreparedQuery.Ask.
 func EvaluateForest(alg Algorithm, k int, f Forest, g *Graph, mu Mapping) bool {
 	return core.Eval(alg, k, f, g, mu)
 }
 
 // DominationWidth computes dw(P) (Definition 2). Exponential in |P|;
 // the width is a static property of the query.
-func DominationWidth(p Pattern) (int, error) { return core.DominationWidthOfPattern(p) }
+//
+// Deprecated: use PreparedQuery.DominationWidth, which caches the
+// result alongside the rest of the query's static analysis.
+func DominationWidth(p Pattern) (int, error) {
+	an, err := analyze(p)
+	if err != nil {
+		return 0, err
+	}
+	return an.dominationWidth(), nil
+}
 
 // BranchTreewidth computes bw(P) (Definition 3) of a UNION-free
 // well-designed pattern; by Proposition 5 it equals dw(P).
-func BranchTreewidth(p Pattern) (int, error) { return core.BranchTreewidthOfPattern(p) }
+//
+// Deprecated: use PreparedQuery.BranchTreewidth.
+func BranchTreewidth(p Pattern) (int, error) {
+	an, err := analyze(p)
+	if err != nil {
+		return 0, err
+	}
+	return an.branchTreewidth()
+}
 
 // LocalWidth computes the local-tractability width of the pattern's
 // forest (the measure of Letelier et al. that domination width
 // strictly generalises).
+//
+// Deprecated: use PreparedQuery.LocalWidth.
 func LocalWidth(p Pattern) (int, error) {
-	f, err := ptree.WDPF(p)
+	an, err := analyze(p)
 	if err != nil {
 		return 0, err
 	}
-	return core.LocalWidth(f), nil
+	return an.localWidth(), nil
 }
 
 // CertainVars returns the variables bound in every solution of the
 // well-designed pattern over every graph (the static analysis of
 // Letelier et al.).
+//
+// Deprecated: use PreparedQuery.CertainVars.
 func CertainVars(p Pattern) ([]Term, error) {
-	f, err := ptree.WDPF(p)
+	an, err := analyze(p)
 	if err != nil {
 		return nil, err
 	}
-	return ptree.CertainVarsForest(f), nil
+	return an.certainVars(), nil
 }
 
 // Counterexample witnesses non-containment of two well-designed
@@ -175,15 +236,15 @@ type Counterexample = core.Counterexample
 // ⟦P1⟧ ⊈ ⟦P2⟧. A returned counterexample is always genuine; absence of
 // one does not prove containment (the problem is Π₂ᵖ-complete).
 func RefuteContainment(p1, p2 Pattern) (Counterexample, bool, error) {
-	f1, err := ptree.WDPF(p1)
+	an1, err := analyze(p1)
 	if err != nil {
 		return Counterexample{}, false, err
 	}
-	f2, err := ptree.WDPF(p2)
+	an2, err := analyze(p2)
 	if err != nil {
 		return Counterexample{}, false, err
 	}
-	ce, ok := core.RefuteContainment(f1, f2)
+	ce, ok := core.RefuteContainment(an1.forest, an2.forest)
 	return ce, ok, nil
 }
 
