@@ -12,10 +12,11 @@ vet:
 
 # Headline perf trajectory: the E3 frontier benchmark (naive and pebble
 # series), the E9 enumeration benchmark (string pipeline vs compiled
-# rows) and the E10 engine benchmark (prepared vs one-shot execution),
+# rows), the E10 engine benchmark (prepared vs one-shot execution) and
+# the E11 storage benchmark (frozen CSR backend vs map backend),
 # recorded as go-test JSON events so the numbers are tracked across
 # PRs. Bump the artifact name (BENCH_<n>.json) per PR.
-BENCH_OUT ?= BENCH_3.json
+BENCH_OUT ?= BENCH_4.json
 bench:
-	$(GO) test -bench='E3|E9|E10' -benchmem -run='^$$' -json > $(BENCH_OUT)
+	$(GO) test -bench='E3|E9|E10|E11' -benchmem -run='^$$' -json > $(BENCH_OUT)
 	@grep 'ns/op' $(BENCH_OUT) | sed -E 's/.*"Output":"(.*)\\n".*/\1/; s/\\t/\t/g'

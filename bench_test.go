@@ -347,6 +347,93 @@ func BenchmarkE10PreparedVsOneShot(b *testing.B) {
 	})
 }
 
+// BenchmarkE11FrozenBackend measures the frozen CSR storage backend
+// against the construction-time map backend on identical triple sets
+// (the E9 Erdős–Rényi shape at |G| = 65536): cold load (incremental
+// map construction vs counting-pass bulk load), MatchCountID probe
+// throughput over the full index-shape mix with full key diversity,
+// MatchID materialisation (the frozen backend returns zero-copy arena
+// ranges), and top-down enumeration. The headline numbers for the
+// storage layer: frozen count/match must beat the map backend with
+// fewer allocs/op.
+func BenchmarkE11FrozenBackend(b *testing.B) {
+	ts := bench.E11Triples(16384)
+	gm := rdf.GraphOf(ts...)
+	gf := rdf.GraphFromTriples(ts)
+	if gm.Len() != gf.Len() {
+		b.Fatalf("backend twins diverge: %d vs %d", gm.Len(), gf.Len())
+	}
+	countProbes := bench.E11Probes(gm, 0)
+	matchProbes := bench.E11Probes(gm, 512)
+	b.Run("coldload/map", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if rdf.GraphOf(ts...).Len() != gm.Len() {
+				b.Fatal("load changed")
+			}
+		}
+	})
+	b.Run("coldload/bulk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if rdf.GraphFromTriples(ts).Len() != gm.Len() {
+				b.Fatal("load changed")
+			}
+		}
+	})
+	want := 0
+	for _, p := range countProbes {
+		want += gm.MatchCountID(p)
+	}
+	for _, tc := range []struct {
+		name string
+		g    *rdf.Graph
+	}{{"count/map", gm}, {"count/frozen", gf}} {
+		g := tc.g
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n := 0
+				for _, p := range countProbes {
+					n += g.MatchCountID(p)
+				}
+				if n != want {
+					b.Fatalf("count drift: %d != %d", n, want)
+				}
+			}
+		})
+	}
+	for _, tc := range []struct {
+		name string
+		g    *rdf.Graph
+	}{{"match/map", gm}, {"match/frozen", gf}} {
+		g := tc.g
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n := 0
+				for _, p := range matchProbes {
+					n += len(g.MatchID(p))
+				}
+				if n == 0 {
+					b.Fatal("empty match workload")
+				}
+			}
+		})
+	}
+	f := ptree.Forest{bench.E9Tree()}
+	rows := core.EnumerateTopDownForestID(f, gm).Len()
+	for _, tc := range []struct {
+		name string
+		g    *rdf.Graph
+	}{{"enum/map", gm}, {"enum/frozen", gf}} {
+		g := tc.g
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if core.EnumerateTopDownForestID(f, g).Len() != rows {
+					b.Fatal("solution count changed")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMicroHomSolver measures the raw homomorphism solver on
 // path queries (ablation baseline for the join-ordering heuristic).
 func BenchmarkMicroHomSolver(b *testing.B) {

@@ -87,8 +87,14 @@ func checkTrial(trial int, p sparql.Pattern, g *rdf.Graph) bool {
 	if topdown.Len() != ref.Len() {
 		return report("top-down %d vs compositional %d", topdown.Len(), ref.Len())
 	}
+	// The frozen CSR backend must be unobservable: the same top-down
+	// enumeration over a frozen clone yields the identical stream.
+	frozen := core.EnumerateTopDownForest(f, g.Clone().Freeze())
+	if frozen.Len() != ref.Len() {
+		return report("frozen backend %d vs compositional %d", frozen.Len(), ref.Len())
+	}
 	for _, mu := range ref.Slice() {
-		if !enum.Contains(mu) || !topdown.Contains(mu) {
+		if !enum.Contains(mu) || !topdown.Contains(mu) || !frozen.Contains(mu) {
 			return report("missing solution %s", mu)
 		}
 	}

@@ -63,7 +63,11 @@ func main() {
 	}
 
 	if *stats {
-		fmt.Fprintf(os.Stderr, "data: %s\n", rdf.Stats(g))
+		backend := "map"
+		if g.Frozen() {
+			backend = "frozen (CSR, bulk-loaded)"
+		}
+		fmt.Fprintf(os.Stderr, "data: %s\nbackend: %s\n", rdf.Stats(g), backend)
 	}
 
 	alg := wdsparql.AlgNaive

@@ -80,10 +80,19 @@ func WithWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
 // NewEngine returns an engine over the graph. A nil graph is replaced
 // by an empty one — useful for purely static analysis (widths, certain
 // variables) where no data is involved.
+//
+// NewEngine freezes the graph (rdf.Graph.Freeze) into the compact CSR
+// backend: engines only read, so every prepared query runs on O(1)
+// array probes and galloping range searches instead of map lookups.
+// Freezing is idempotent and preserves result content and order
+// exactly; note that it seals the caller's graph in place (a later
+// mutation of the graph transparently thaws it, under the existing
+// rule that the graph must not change while the engine is in use).
 func NewEngine(g *Graph, opts ...Option) *Engine {
 	if g == nil {
 		g = rdf.NewGraph()
 	}
+	g.Freeze()
 	e := &Engine{g: g, alg: core.AlgNaive, pebbleK: 1, workers: 1}
 	for _, o := range opts {
 		o(e)

@@ -187,9 +187,41 @@ func TestE10Agreement(t *testing.T) {
 	}
 }
 
+func TestE11Agreement(t *testing.T) {
+	tbl := E11FrozenBackend([]int{32, 64}, 4)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[1] == "0" {
+			t.Fatalf("E11 must load a non-empty graph: %v", row)
+		}
+		if row[len(row)-1] != "true" {
+			t.Fatalf("frozen and map backends must agree: %v", row)
+		}
+	}
+}
+
+func TestTableAgreement(t *testing.T) {
+	tbl := &Table{Header: []string{"n", "agree"}, Rows: [][]string{{"1", "true"}, {"2", "true"}}}
+	if !tbl.Agreement() {
+		t.Fatal("all-true agree column must pass")
+	}
+	tbl.AddRow("3", "false")
+	if tbl.Agreement() {
+		t.Fatal("false agree cell must fail")
+	}
+	// Non-agreement boolean columns (E6's "exact?", E5's "verdict") are
+	// data, not cross-validation verdicts.
+	data := &Table{Header: []string{"k", "exact?"}, Rows: [][]string{{"3", "false"}}}
+	if !data.Agreement() {
+		t.Fatal("non-agreement columns must not affect the verdict")
+	}
+}
+
 func TestSuiteComposition(t *testing.T) {
 	tables := Suite(false)
-	if len(tables) != 10 {
+	if len(tables) != 11 {
 		t.Fatalf("suite size: %d", len(tables))
 	}
 	ids := map[string]bool{}
@@ -204,7 +236,7 @@ func TestSuiteComposition(t *testing.T) {
 			}
 		}
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"} {
 		if !ids[id] {
 			t.Fatalf("missing %s", id)
 		}

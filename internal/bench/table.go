@@ -69,6 +69,25 @@ func pad(s string, w int) string {
 	return s + strings.Repeat(" ", w-len(s))
 }
 
+// Agreement reports whether every agreement-bearing column ("agree",
+// "oracle agrees") reads "true" in every row. Experiment tables use
+// these columns for cross-validation verdicts, so a false cell means
+// two evaluation paths diverged; wdbench turns that into a non-zero
+// exit so CI smoke runs fail fast.
+func (t *Table) Agreement() bool {
+	for i, h := range t.Header {
+		if h != "agree" && h != "oracle agrees" {
+			continue
+		}
+		for _, row := range t.Rows {
+			if i < len(row) && row[i] != "true" {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // String renders to a string.
 func (t *Table) String() string {
 	var b strings.Builder

@@ -15,10 +15,12 @@ import (
 // The search is integer-native: patterns are compiled once against the
 // graph's term dictionary (variables become dense slots, IRIs become
 // TermIDs), the partial assignment is a flat []TermID indexed by slot,
-// and candidate selection runs on the graph's ID posting lists.
-// Selectivity counts are posting-list lengths, so the fail-first
-// heuristic costs one map lookup per pattern per node. Strings are
-// only touched when a found assignment is decoded into an rdf.Mapping.
+// and candidate selection runs on the graph's ID posting lists
+// through the LookupRangeID backend seam: on a frozen graph the
+// selectivity counts of the fail-first heuristic are O(1) offset
+// probes (O(log) for two bound positions) and exact candidate ranges
+// skip the per-triple pattern filter entirely. Strings are only
+// touched when a found assignment is decoded into an rdf.Mapping.
 //
 // Deciding the existence of a homomorphism is NP-complete in general
 // (Chandra–Merlin); this solver is the exact (exponential worst-case)
@@ -96,8 +98,9 @@ type search struct {
 	limit    int
 	pats     []cpat
 	done     []bool
-	varNames []string      // slot → variable name
-	assign   []rdf.TermID  // slot → bound IRI ID, or unbound
+	varNames []string       // slot → variable name
+	assign   []rdf.TermID   // slot → bound IRI ID, or unbound
+	bound    []rdf.TermID   // dense stack of currently-bound values
 	bufs     [][]scoredCand // per-depth candidate buffers, reused across nodes
 	found    []rdf.Mapping
 	absent   bool // some pattern constant is not in g: no matches
@@ -243,8 +246,9 @@ func (s *search) rec(remaining int) bool {
 	// search exhausts the subtree anyway.
 	depth := len(s.pats) - remaining
 	cands := s.bufs[depth][:0]
-	for _, t := range s.g.CandidatesID(bestPat) {
-		if !rdf.MatchesPatternID(bestPat, t) {
+	raw, exact := s.g.LookupRangeID(bestPat)
+	for _, t := range raw {
+		if !exact && !rdf.MatchesPatternID(bestPat, t) {
 			continue
 		}
 		var score int64
@@ -271,6 +275,7 @@ func (s *search) rec(remaining int) bool {
 			c := cp.code[pos]
 			if c >= 0 && s.assign[c] == unbound {
 				s.assign[c] = t[pos]
+				s.bound = append(s.bound, t[pos])
 				newSlots[n] = c
 				n++
 			}
@@ -279,6 +284,7 @@ func (s *search) rec(remaining int) bool {
 		for j := 0; j < n; j++ {
 			s.assign[newSlots[j]] = unbound
 		}
+		s.bound = s.bound[:len(s.bound)-n]
 		if !more {
 			s.done[best] = false
 			return false
@@ -290,10 +296,12 @@ func (s *search) rec(remaining int) bool {
 
 // inImage reports whether the value is already used by the partial
 // homomorphism: bound to some slot, or a constant position of the
-// pattern being expanded. Assignments are small, so a linear scan
-// beats maintaining a multiset across backtracking.
+// pattern being expanded. The scan runs over the dense bound-value
+// stack maintained across bind/unbind (see RowSearcher.rowInImage for
+// the measurement notes), so its cost tracks the number of bound
+// slots, not the full slot count.
 func (s *search) inImage(v rdf.TermID, pat rdf.IDTriple) bool {
-	for _, a := range s.assign {
+	for _, a := range s.bound {
 		if a == v {
 			return true
 		}

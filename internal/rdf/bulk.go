@@ -1,0 +1,85 @@
+package rdf
+
+// Bulk loading: cold-start construction of a frozen graph in one
+// interning pass plus one compaction. The incremental path (NewGraph +
+// Add) pays for six map indexes that grow insert by insert and are
+// thrown away by the first Freeze; a GraphBuilder never builds them —
+// it interns, deduplicates and accumulates the insertion-order slice,
+// then a single counting pass sizes the occurrence table and one
+// freezeGraph call lays out the CSR arenas at their exact final size.
+
+// GraphBuilder accumulates ground triples for a bulk load. Add order
+// is the insertion order of the resulting graph, exactly as if the
+// triples had been Added to a fresh Graph. The zero value is not
+// usable; call NewGraphBuilder.
+type GraphBuilder struct {
+	g *Graph
+}
+
+// NewGraphBuilder returns a builder pre-sized for about sizeHint
+// triples (a hint, not a cap; zero is fine).
+func NewGraphBuilder(sizeHint int) *GraphBuilder {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &GraphBuilder{g: &Graph{
+		dict: NewDict(),
+		set:  make(map[IDTriple]struct{}, sizeHint),
+		all:  make([]IDTriple, 0, sizeHint),
+	}}
+}
+
+// Add inserts a ground triple; it panics on variables, like Graph.Add.
+func (b *GraphBuilder) Add(t Triple) {
+	if !t.Ground() {
+		panic("rdf: cannot add non-ground triple " + t.String() + " to a graph")
+	}
+	b.AddTriple(t.S.Value, t.P.Value, t.O.Value)
+}
+
+// AddTriple inserts the ground triple (s, p, o).
+func (b *GraphBuilder) AddTriple(s, p, o string) {
+	g := b.g
+	t := IDTriple{g.dict.InternIRI(s), g.dict.InternIRI(p), g.dict.InternIRI(o)}
+	if _, ok := g.set[t]; ok {
+		return
+	}
+	g.set[t] = struct{}{}
+	g.all = append(g.all, t)
+}
+
+// Len returns the number of (distinct) triples added so far.
+func (b *GraphBuilder) Len() int { return len(b.g.all) }
+
+// Graph compacts the accumulated triples into a frozen graph: one
+// counting pass for the occurrence table and dom(G), then the CSR
+// freeze. The builder must not be used afterwards. Mutating the
+// returned graph thaws it like any frozen graph.
+func (b *GraphBuilder) Graph() *Graph {
+	g := b.g
+	b.g = nil
+	g.occ = make([]int32, g.dict.NumIRIs())
+	for _, t := range g.all {
+		for _, id := range t {
+			if g.occ[id] == 0 {
+				g.domSize++
+			}
+			g.occ[id]++
+		}
+	}
+	g.frz = freezeGraph(g)
+	g.set = nil
+	return g
+}
+
+// GraphFromTriples bulk-loads ground triples into a frozen graph. It
+// is equivalent to GraphOf(ts...).Freeze() — same triples, same
+// dictionary IDs, same insertion order — but never builds the map
+// indexes, so cold load is one pass plus one compaction.
+func GraphFromTriples(ts []Triple) *Graph {
+	b := NewGraphBuilder(len(ts))
+	for _, t := range ts {
+		b.Add(t)
+	}
+	return b.Graph()
+}

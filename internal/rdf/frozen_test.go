@@ -1,0 +1,217 @@
+// Cross-validation of the frozen CSR backend against the map backend:
+// the two storage representations must agree — content AND order — on
+// every read operation, on randomized graphs and patterns (including
+// repeated-variable patterns), and the freeze lifecycle (idempotence,
+// thaw on mutation, bulk load) must be invisible to consumers.
+package rdf_test
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+
+	"wdsparql/internal/gen"
+	"wdsparql/internal/rdf"
+)
+
+// frozenTwin returns a map-backed and a frozen graph with identical
+// triples, identical dictionary IDs and identical insertion order:
+// for even trials the frozen twin is a bulk load (GraphFromTriples),
+// for odd trials a Clone().Freeze() — covering both construction
+// paths.
+func frozenTwin(rng *rand.Rand, trial int) (*rdf.Graph, *rdf.Graph) {
+	gm := randGraph(rng)
+	if trial%2 == 0 {
+		ts := make([]rdf.Triple, 0, gm.Len())
+		for _, id := range gm.TriplesID() {
+			ts = append(ts, gm.Dict().DecodeTriple(id))
+		}
+		// Rebuild the map twin from the same list so both twins intern
+		// in the same order (randGraph's own insertion order already
+		// matches, but this keeps the test self-contained).
+		return rdf.GraphOf(ts...), rdf.GraphFromTriples(ts)
+	}
+	return gm, gm.Clone().Freeze()
+}
+
+func sameTriples(a, b []rdf.IDTriple) bool { return slices.Equal(a, b) }
+
+func TestFrozenAgreesWithMapBackend(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 200; trial++ {
+		gm, gf := frozenTwin(rng, trial)
+		if !gf.Frozen() || gm.Frozen() {
+			t.Fatalf("trial %d: backend mix-up (map frozen=%v, frozen frozen=%v)", trial, gm.Frozen(), gf.Frozen())
+		}
+		if gm.Len() != gf.Len() || gm.DomSize() != gf.DomSize() {
+			t.Fatalf("trial %d: Len/DomSize disagree: %d/%d vs %d/%d",
+				trial, gm.Len(), gm.DomSize(), gf.Len(), gf.DomSize())
+		}
+		dom := gm.Dom()
+		for probe := 0; probe < 30; probe++ {
+			pat := randPattern(rng, dom)
+			ipm, okm := gm.EncodePattern(pat)
+			ipf, okf := gf.EncodePattern(pat)
+			if okm != okf || ipm != ipf {
+				t.Fatalf("trial %d: EncodePattern disagrees on %v", trial, pat)
+			}
+			if !okm {
+				continue
+			}
+			if cm, cf := gm.MatchCountID(ipm), gf.MatchCountID(ipf); cm != cf {
+				t.Fatalf("trial %d: MatchCountID(%v) = %d map vs %d frozen", trial, ipm, cm, cf)
+			}
+			if mm, mf := gm.MatchID(ipm), gf.MatchID(ipf); !sameTriples(mm, mf) {
+				t.Fatalf("trial %d: MatchID(%v) differs (content or order):\nmap:    %v\nfrozen: %v",
+					trial, ipm, mm, mf)
+			}
+			if cm, cf := gm.CandidatesID(ipm), gf.CandidatesID(ipf); !sameTriples(cm, cf) {
+				t.Fatalf("trial %d: CandidatesID(%v) differs (content or order):\nmap:    %v\nfrozen: %v",
+					trial, ipm, cm, cf)
+			}
+			rm, em := gm.LookupRangeID(ipm)
+			rf, ef := gf.LookupRangeID(ipf)
+			if em != ef || !sameTriples(rm, rf) {
+				t.Fatalf("trial %d: LookupRangeID(%v) differs", trial, ipm)
+			}
+		}
+		// Membership: every triple of G, plus perturbed absent triples.
+		for i, id := range gm.TriplesID() {
+			if !gf.ContainsID(id) {
+				t.Fatalf("trial %d: frozen lost triple %v", trial, id)
+			}
+			if gf.TriplesID()[i] != id {
+				t.Fatalf("trial %d: insertion order changed at %d", trial, i)
+			}
+			absent := rdf.IDTriple{id[2], id[0], id[1]}
+			if gm.ContainsID(absent) != gf.ContainsID(absent) {
+				t.Fatalf("trial %d: ContainsID(%v) disagrees", trial, absent)
+			}
+		}
+		// Occurrence counts and dom agree.
+		for _, id := range gm.DomIDs() {
+			if gm.OccurrencesID(id) != gf.OccurrencesID(id) {
+				t.Fatalf("trial %d: OccurrencesID(%v) disagrees", trial, id)
+			}
+			if !gf.HasIRI(gm.Dict().StringOf(id)) {
+				t.Fatalf("trial %d: HasIRI lost %v", trial, id)
+			}
+		}
+	}
+}
+
+// Freeze is idempotent, and mutation thaws transparently: a frozen
+// graph that is mutated behaves exactly like a never-frozen graph
+// with the same history, and can be re-frozen.
+func TestFreezeThawLifecycle(t *testing.T) {
+	g := gen.Random(12, 40, 3, 99)
+	if g.Frozen() {
+		t.Fatal("incremental graph must start map-backed")
+	}
+	g.Freeze()
+	if !g.Frozen() {
+		t.Fatal("Freeze must seal")
+	}
+	g.Freeze() // idempotent
+	n := g.Len()
+	g.AddTriple("thaw-s", "thaw-p", "thaw-o")
+	if g.Frozen() {
+		t.Fatal("mutation must thaw")
+	}
+	if g.Len() != n+1 || !g.Contains(rdf.T(rdf.IRI("thaw-s"), rdf.IRI("thaw-p"), rdf.IRI("thaw-o"))) {
+		t.Fatal("triple lost across thaw")
+	}
+	g.Freeze()
+	if !g.Frozen() || !g.ContainsID(g.TriplesID()[n]) {
+		t.Fatal("re-freeze lost the new triple")
+	}
+	// Re-adding an existing triple on a frozen graph thaws but must
+	// not duplicate.
+	g.AddTriple("thaw-s", "thaw-p", "thaw-o")
+	if g.Len() != n+1 {
+		t.Fatal("duplicate insert after thaw")
+	}
+	// Cloning a frozen graph takes the compact path (no map rebuild):
+	// the clone is frozen and state-identical, including occurrence
+	// counts, and stays independently mutable.
+	g.Freeze()
+	c := g.Clone()
+	if !c.Frozen() || !slices.Equal(c.TriplesID(), g.TriplesID()) || c.DomSize() != g.DomSize() {
+		t.Fatal("frozen clone lost state")
+	}
+	for _, id := range g.DomIDs() {
+		if c.OccurrencesID(id) != g.OccurrencesID(id) {
+			t.Fatalf("frozen clone occurrence count differs for %v", id)
+		}
+	}
+	c.AddTriple("clone-s", "clone-p", "clone-o")
+	if c.Len() != g.Len()+1 || !g.Frozen() {
+		t.Fatal("frozen clone is not independent of its source")
+	}
+}
+
+// Bulk load is equivalent to incremental construction + Freeze: same
+// triples, same dictionary IDs, same insertion order — and ReadGraph
+// returns a frozen, bulk-loaded graph.
+func TestBulkLoadEquivalence(t *testing.T) {
+	ts := []rdf.Triple{
+		rdf.T(rdf.IRI("a"), rdf.IRI("p"), rdf.IRI("b")),
+		rdf.T(rdf.IRI("b"), rdf.IRI("p"), rdf.IRI("c")),
+		rdf.T(rdf.IRI("a"), rdf.IRI("q"), rdf.IRI("c")),
+		rdf.T(rdf.IRI("a"), rdf.IRI("p"), rdf.IRI("b")), // duplicate
+		rdf.T(rdf.IRI("c"), rdf.IRI("q"), rdf.IRI("a")),
+	}
+	inc := rdf.GraphOf(ts...)
+	bulk := rdf.GraphFromTriples(ts)
+	if !bulk.Frozen() {
+		t.Fatal("GraphFromTriples must return a frozen graph")
+	}
+	if !inc.Equal(bulk) || !bulk.Equal(inc) {
+		t.Fatal("bulk and incremental graphs differ")
+	}
+	if !sameTriples(inc.TriplesID(), bulk.TriplesID()) {
+		t.Fatalf("IDs or insertion order differ: %v vs %v", inc.TriplesID(), bulk.TriplesID())
+	}
+	parsed, err := rdf.ParseGraph("a p b .\nb p c .\na q c .\na p b .\nc q a .")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Frozen() {
+		t.Fatal("ReadGraph must return a frozen graph")
+	}
+	if !sameTriples(parsed.TriplesID(), inc.TriplesID()) {
+		t.Fatal("ReadGraph bulk load changed IDs or order")
+	}
+}
+
+// The empty graph freezes and answers correctly.
+func TestFreezeEmptyGraph(t *testing.T) {
+	g := rdf.NewGraph().Freeze()
+	if g.Len() != 0 || g.ContainsID(rdf.IDTriple{0, 0, 0}) {
+		t.Fatal("empty frozen graph misbehaves")
+	}
+	if got := g.MatchCountID(rdf.IDTriple{rdf.VarID(0), rdf.VarID(1), rdf.VarID(2)}); got != 0 {
+		t.Fatalf("empty frozen MatchCountID = %d", got)
+	}
+	if b := rdf.NewGraphBuilder(0); b.Graph().Len() != 0 {
+		t.Fatal("empty builder misbehaves")
+	}
+}
+
+// Pattern constants interned after the freeze (dictionary grows, the
+// frozen offsets do not) must match nothing rather than read out of
+// bounds.
+func TestFrozenUnseenConstant(t *testing.T) {
+	g := rdf.GraphOf(rdf.T(rdf.IRI("a"), rdf.IRI("p"), rdf.IRI("b"))).Freeze()
+	late := g.Dict().InternIRI("late")
+	for _, p := range []rdf.IDTriple{
+		{late, rdf.VarID(0), rdf.VarID(1)},
+		{rdf.VarID(0), late, rdf.VarID(1)},
+		{rdf.VarID(0), rdf.VarID(1), late},
+		{late, late, late},
+	} {
+		if g.MatchCountID(p) != 0 || len(g.CandidatesID(p)) != 0 {
+			t.Fatalf("pattern %v with post-freeze constant matched", p)
+		}
+	}
+}

@@ -7,25 +7,37 @@ import (
 // Graph is a ground RDF graph: a finite set of RDF triples over IRIs
 // (the paper assumes no blank nodes). Internally the graph is
 // dictionary-encoded: every IRI is interned to a dense TermID in a
-// private Dict and triples are stored as IDTriples, with positional
-// indexes keyed by integers and insertion-ordered posting lists
-// (appends are O(1), so graph construction is linear; the order is
-// deterministic for a fixed construction order, and consumers that
-// need a sorted view sort at their boundary). The
-// string-based API (Add, Match, Contains, MatchMappings, ...) is a
-// thin shim over the ID-native core; hot callers (the homomorphism
-// solver, the pebble closure) use the *ID methods directly.
+// private Dict and triples are stored as IDTriples. Two storage
+// backends share the read API behind Graph's *ID methods:
+//
+//   - The construction-time map backend: positional hash indexes with
+//     insertion-ordered, append-only posting lists (O(1) insert, so
+//     incremental construction is linear).
+//   - The frozen CSR backend (see frozen.go): after Freeze, the map
+//     indexes are compacted into flat triple arenas with offset
+//     arrays indexed by dense TermID, posting-list probes become
+//     array accesses or galloping range searches, and membership runs
+//     on an open-addressing table. Mutation thaws back to the map
+//     backend transparently.
+//
+// Both backends produce byte-identical results — content and order —
+// for every read operation. The string-based API (Add, Match,
+// Contains, MatchMappings, ...) is a thin shim over the ID-native
+// core; hot callers (the homomorphism solver, the pebble closure) use
+// the *ID methods directly.
 //
 // All read operations are free of interning and internal caching, so a
-// Graph is safe for concurrent readers once construction is done.
+// Graph is safe for concurrent readers once construction (including
+// any Freeze call) is done.
 //
 // The zero value is not usable; call NewGraph.
 type Graph struct {
 	dict *Dict
-	set  map[IDTriple]struct{}
-	all  []IDTriple // insertion order; returned directly by TriplesID
+	set  map[IDTriple]struct{} // nil while frozen
+	all  []IDTriple            // insertion order; returned directly by TriplesID
 
-	// Positional indexes with insertion-ordered posting lists.
+	// Positional map indexes with insertion-ordered posting lists;
+	// all nil while frozen.
 	byS  map[TermID][]IDTriple
 	byP  map[TermID][]IDTriple
 	byO  map[TermID][]IDTriple
@@ -33,8 +45,9 @@ type Graph struct {
 	byPO map[[2]TermID][]IDTriple
 	bySO map[[2]TermID][]IDTriple
 
-	dom map[TermID]struct{} // IDs of IRIs appearing anywhere in G
-	occ []int32             // occurrence count per IRI ID across all positions
+	occ     []int32 // occurrence count per IRI ID across all positions
+	domSize int     // |dom(G)| = number of IRI IDs with occ > 0
+	frz     *frozenView
 }
 
 // NewGraph returns an empty RDF graph.
@@ -48,7 +61,6 @@ func NewGraph() *Graph {
 		bySP: map[[2]TermID][]IDTriple{},
 		byPO: map[[2]TermID][]IDTriple{},
 		bySO: map[[2]TermID][]IDTriple{},
-		dom:  map[TermID]struct{}{},
 	}
 }
 
@@ -100,23 +112,39 @@ func (g *Graph) AddID(t IDTriple) {
 }
 
 func (g *Graph) addID(t IDTriple) {
+	if g.frz != nil {
+		g.thaw()
+	}
 	if _, ok := g.set[t]; ok {
 		return
 	}
 	g.set[t] = struct{}{}
 	g.all = append(g.all, t)
+	g.indexID(t)
+	g.countID(t)
+}
+
+// indexID appends the triple to the six positional map indexes; also
+// used by thaw to rebuild them in insertion order.
+func (g *Graph) indexID(t IDTriple) {
 	g.byS[t[0]] = append(g.byS[t[0]], t)
 	g.byP[t[1]] = append(g.byP[t[1]], t)
 	g.byO[t[2]] = append(g.byO[t[2]], t)
 	g.bySP[[2]TermID{t[0], t[1]}] = append(g.bySP[[2]TermID{t[0], t[1]}], t)
 	g.byPO[[2]TermID{t[1], t[2]}] = append(g.byPO[[2]TermID{t[1], t[2]}], t)
 	g.bySO[[2]TermID{t[0], t[2]}] = append(g.bySO[[2]TermID{t[0], t[2]}], t)
-	g.dom[t[0]] = struct{}{}
-	g.dom[t[1]] = struct{}{}
-	g.dom[t[2]] = struct{}{}
+}
+
+// countID maintains the occurrence counts (which double as the dom(G)
+// indicator: occ[id] > 0 ⟺ id ∈ dom(G)). The counts slice grows to
+// the dictionary size in a single append, not one element at a time.
+func (g *Graph) countID(t IDTriple) {
+	if n := g.dict.NumIRIs(); n > len(g.occ) {
+		g.occ = append(g.occ, make([]int32, n-len(g.occ))...)
+	}
 	for _, id := range t {
-		for int(id) >= len(g.occ) {
-			g.occ = append(g.occ, 0)
+		if g.occ[id] == 0 {
+			g.domSize++
 		}
 		g.occ[id]++
 	}
@@ -197,51 +225,52 @@ func (g *Graph) Contains(t Triple) bool {
 	if !ok {
 		return false
 	}
-	_, in := g.set[id]
-	return in
+	return g.ContainsID(id)
 }
 
 // ContainsID reports whether the encoded ground triple is in G.
 func (g *Graph) ContainsID(t IDTriple) bool {
+	if f := g.frz; f != nil {
+		_, ok := f.contains(t)
+		return ok
+	}
 	_, ok := g.set[t]
 	return ok
 }
 
 // Len returns |G|, the number of triples.
-func (g *Graph) Len() int { return len(g.set) }
+func (g *Graph) Len() int { return len(g.all) }
 
 // Dom returns dom(G), the sorted set of IRIs appearing in G.
 func (g *Graph) Dom() []string {
-	out := make([]string, 0, len(g.dom))
-	for id := range g.dom {
-		out = append(out, g.dict.iris[id])
+	out := make([]string, 0, g.domSize)
+	for id, c := range g.occ {
+		if c > 0 {
+			out = append(out, g.dict.iris[id])
+		}
 	}
 	sort.Strings(out)
 	return out
 }
 
-// DomIDs returns the IDs of dom(G), sorted ascending. The order is
-// deterministic for a fixed construction order of the graph.
+// DomIDs returns the IDs of dom(G), sorted ascending.
 func (g *Graph) DomIDs() []TermID {
-	out := make([]TermID, 0, len(g.dom))
-	for id := range g.dom {
-		out = append(out, id)
+	out := make([]TermID, 0, g.domSize)
+	for id, c := range g.occ {
+		if c > 0 {
+			out = append(out, TermID(id))
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // DomSize returns |dom(G)| without materialising the sorted slice.
-func (g *Graph) DomSize() int { return len(g.dom) }
+func (g *Graph) DomSize() int { return g.domSize }
 
 // HasIRI reports whether the IRI value occurs anywhere in G.
 func (g *Graph) HasIRI(v string) bool {
 	id, ok := g.dict.LookupIRI(v)
-	if !ok {
-		return false
-	}
-	_, in := g.dom[id]
-	return in
+	return ok && int(id) < len(g.occ) && g.occ[id] > 0
 }
 
 // Triples returns all triples in a deterministic order.
@@ -268,10 +297,10 @@ func (g *Graph) Match(p Triple) []Triple {
 	if !ok {
 		return nil
 	}
-	cands := g.CandidatesID(ip)
+	cands, exact := g.LookupRangeID(ip)
 	out := make([]Triple, 0, len(cands))
 	for _, t := range cands {
-		if MatchesPatternID(ip, t) {
+		if exact || MatchesPatternID(ip, t) {
 			out = append(out, g.dict.DecodeTriple(t))
 		}
 	}
@@ -279,9 +308,19 @@ func (g *Graph) Match(p Triple) []Triple {
 }
 
 // MatchID is Match over encoded patterns (see EncodePattern for the
-// pattern convention).
+// pattern convention). On a frozen graph the result of a pattern
+// without repeated variables aliases immutable internal storage:
+// callers must not modify it.
 func (g *Graph) MatchID(p IDTriple) []IDTriple {
-	cands := g.CandidatesID(p)
+	cands, exact := g.LookupRangeID(p)
+	if exact {
+		if g.frz != nil {
+			return cands // immutable arena range: zero-copy
+		}
+		out := make([]IDTriple, len(cands))
+		copy(out, cands)
+		return out
+	}
 	out := make([]IDTriple, 0, len(cands))
 	for _, t := range cands {
 		if MatchesPatternID(p, t) {
@@ -302,10 +341,11 @@ func (g *Graph) MatchCount(p Triple) int {
 
 // MatchCountID returns the number of triples matching the encoded
 // pattern. When the pattern has no repeated variables the count is the
-// posting-list length, with no scan.
+// posting-list (or frozen range) length, with no scan: O(1) for at
+// most one bound position, O(log) for two on the frozen backend.
 func (g *Graph) MatchCountID(p IDTriple) int {
-	cands := g.CandidatesID(p)
-	if !hasRepeatedVar(p) {
+	cands, exact := g.LookupRangeID(p)
+	if exact {
 		return len(cands)
 	}
 	n := 0
@@ -324,12 +364,28 @@ func hasRepeatedVar(p IDTriple) bool {
 		(p[1].IsVar() && p[1] == p[2])
 }
 
+// LookupRangeID is the storage-backend seam used by the solvers: it
+// returns the candidate posting list for the encoded pattern together
+// with exact, which reports that every triple of the list matches the
+// pattern (true exactly when the pattern has no repeated variable, on
+// either backend), so callers can skip the per-triple
+// MatchesPatternID filter. The slice is internal storage: callers
+// must not modify it, and on the map backend it is only valid until
+// the next mutation.
+func (g *Graph) LookupRangeID(p IDTriple) ([]IDTriple, bool) {
+	return g.CandidatesID(p), !hasRepeatedVar(p)
+}
+
 // CandidatesID selects the most selective index for the encoded
 // pattern and returns its posting list. Every triple matching the
 // pattern is in the list; the list may contain non-matches when the
-// pattern has repeated variables. The slice is internal storage:
-// callers must not modify it.
+// pattern has repeated variables. Both backends return the same
+// triples in the same (insertion) order. The slice is internal
+// storage: callers must not modify it.
 func (g *Graph) CandidatesID(p IDTriple) []IDTriple {
+	if f := g.frz; f != nil {
+		return f.candidates(p)
+	}
 	sB, pB, oB := !p[0].IsVar(), !p[1].IsVar(), !p[2].IsVar()
 	switch {
 	case sB && pB && oB:
@@ -389,8 +445,9 @@ func (g *Graph) MatchMappings(p Triple) []Mapping {
 	}
 	var out []Mapping
 	seen := map[[3]TermID]struct{}{}
-	for _, t := range g.CandidatesID(ip) {
-		if !MatchesPatternID(ip, t) {
+	cands, exact := g.LookupRangeID(ip)
+	for _, t := range cands {
+		if !exact && !MatchesPatternID(ip, t) {
 			continue
 		}
 		var key [3]TermID
@@ -417,10 +474,20 @@ func (g *Graph) MatchMappings(p Triple) []Mapping {
 func (g *Graph) String() string { return FormatGraph(g) }
 
 // Clone returns a deep copy of the graph. IDs are preserved: the
-// clone's dictionary assigns the same IDs to the same IRIs.
+// clone's dictionary assigns the same IDs to the same IRIs, and a
+// frozen graph clones to a frozen graph.
 func (g *Graph) Clone() *Graph {
 	out := NewGraph()
 	out.dict = g.dict.Clone()
+	if g.frz != nil {
+		// The map indexes of a frozen graph are gone; copy the
+		// insertion-order state and compact directly instead of
+		// rebuilding maps that Freeze would immediately discard.
+		out.all = append(out.all, g.all...)
+		out.occ = append(out.occ, g.occ...)
+		out.domSize = g.domSize
+		return out.Freeze()
+	}
 	for _, t := range g.all {
 		out.addID(t)
 	}

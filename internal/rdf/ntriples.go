@@ -14,9 +14,12 @@ import (
 // permitted in data files (graphs are ground).
 
 // ReadGraph parses a graph from r. It returns the first syntax error
-// encountered, annotated with a line number.
+// encountered, annotated with a line number. The graph is bulk-loaded
+// through a GraphBuilder and returned frozen (see Graph.Freeze): cold
+// load is one interning pass plus one compaction, and the result is
+// immediately ready for concurrent readers. Mutating it thaws it.
 func ReadGraph(r io.Reader) (*Graph, error) {
-	g := NewGraph()
+	b := NewGraphBuilder(0)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	lineNo := 0
@@ -39,12 +42,12 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 			}
 			terms[i] = t
 		}
-		g.Add(WithTerms(terms))
+		b.AddTriple(terms[0].Value, terms[1].Value, terms[2].Value)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("rdf: read: %w", err)
 	}
-	return g, nil
+	return b.Graph(), nil
 }
 
 // ParseGraph parses a graph from a string.

@@ -110,8 +110,9 @@ func (e *rowEvaluator) evalTriple(t rdf.Triple) *rdf.IDMappingSet {
 		ip[i] = id
 	}
 	row := e.layout.NewRow()
-	for _, tr := range e.g.CandidatesID(ip) {
-		if !rdf.MatchesPatternID(ip, tr) {
+	cands, exact := e.g.LookupRangeID(ip)
+	for _, tr := range cands {
+		if !exact && !rdf.MatchesPatternID(ip, tr) {
 			continue
 		}
 		for i := 0; i < 3; i++ {
