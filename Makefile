@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet bench
+.PHONY: check vet bench cover
 
 # Tier-1 verification: everything must build and every test must pass.
 check:
@@ -12,11 +12,18 @@ vet:
 
 # Headline perf trajectory: the E3 frontier benchmark (naive and pebble
 # series), the E9 enumeration benchmark (string pipeline vs compiled
-# rows), the E10 engine benchmark (prepared vs one-shot execution) and
-# the E11 storage benchmark (frozen CSR backend vs map backend),
+# rows), the E10 engine benchmark (prepared vs one-shot execution), the
+# E11 storage benchmark (frozen CSR backend vs map backend) and the E12
+# sharding benchmark (sharded backend vs frozen, per shard count),
 # recorded as go-test JSON events so the numbers are tracked across
 # PRs. Bump the artifact name (BENCH_<n>.json) per PR.
-BENCH_OUT ?= BENCH_4.json
+BENCH_OUT ?= BENCH_5.json
 bench:
-	$(GO) test -bench='E3|E9|E10|E11' -benchmem -run='^$$' -json > $(BENCH_OUT)
+	$(GO) test -bench='E3|E9|E10|E11|E12' -benchmem -run='^$$' -json > $(BENCH_OUT)
 	@grep 'ns/op' $(BENCH_OUT) | sed -E 's/.*"Output":"(.*)\\n".*/\1/; s/\\t/\t/g'
+
+# Coverage with the gate CI enforces: the total statement coverage must
+# not drop below the recorded baseline (see .github/workflows/ci.yml).
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1

@@ -1,4 +1,4 @@
-// Command wdbench runs the experiment suite E1–E11 that reproduces the
+// Command wdbench runs the experiment suite E1–E12 that reproduces the
 // constructions and complexity claims of "The Tractability Frontier of
 // Well-designed SPARQL Queries" (Romero, PODS 2018) and prints one
 // table per experiment. See DESIGN.md for the experiment index and
@@ -6,20 +6,25 @@
 //
 // Usage:
 //
-//	wdbench [-only E3] [-full] [-workers N] [-cpuprofile f] [-memprofile f]
+//	wdbench [-only E3] [-full] [-workers N] [-shards 1,2,4] [-cpuprofile f] [-memprofile f]
 //
 // -only runs a single experiment (the others are not executed, so a
 // profiled -only run measures exactly that experiment). -full extends
 // the E3 sweep into the regime where the natural algorithm needs tens
 // of seconds per instance. E8 (batched decision) and E9 (top-down
 // enumeration throughput: string pipeline vs compiled rows, rows/sec,
-// sequential vs a pool of -workers workers) honour -workers.
+// sequential vs a pool of -workers workers) honour -workers; E12 (the
+// sharded storage backend) sweeps the -shards shard counts.
 // -cpuprofile and -memprofile write pprof profiles of the run, so perf
 // work on the evaluation and enumeration hot paths can attach
 // evidence:
 //
 //	wdbench -only E9 -workers 8 -cpuprofile cpu.out -memprofile mem.out
 //	go tool pprof cpu.out
+//
+// Every experiment cross-validates its evaluation paths (the "agree"
+// columns span all three storage backends where data is involved);
+// any disagreement makes wdbench exit non-zero.
 package main
 
 import (
@@ -40,17 +45,23 @@ func main() {
 // run carries the whole command so that error exits unwind through the
 // defers (in particular StopCPUProfile, which flushes the profile).
 func run() int {
-	only := flag.String("only", "", "run a single experiment (E1..E11, A1..A3, M1)")
+	only := flag.String("only", "", "run a single experiment (E1..E12, A1..A3, M1)")
 	full := flag.Bool("full", false, "extended sweeps (E3 up to k=7; ~1 min extra)")
 	ablations := flag.Bool("ablations", false, "also run the ablation suite A1..A3")
 	micro := flag.Bool("micro", false, "also run the micro-benchmarks M1")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker-pool size for the batched (E8) and enumeration (E9) experiments")
+	shards := flag.String("shards", "1,2,4", "comma-separated shard counts for the sharded-backend (E12) experiment")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	flag.Parse()
 
 	if *only != "" && !validID(*only) {
-		fmt.Fprintf(os.Stderr, "wdbench: unknown experiment %q (want E1..E11, A1..A3 or M1)\n", *only)
+		fmt.Fprintf(os.Stderr, "wdbench: unknown experiment %q (want E1..E12, A1..A3 or M1)\n", *only)
+		return 2
+	}
+	shardCounts, err := bench.ParseShardCounts(*shards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wdbench: -shards: %v\n", err)
 		return 2
 	}
 	if *cpuprofile != "" {
@@ -66,7 +77,7 @@ func run() int {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	specs := bench.Experiments(*full, *workers)
+	specs := bench.Experiments(*full, *workers, shardCounts...)
 	if *ablations || strings.HasPrefix(strings.ToUpper(*only), "A") {
 		specs = append(specs, bench.AblationExperiments()...)
 	}
@@ -106,7 +117,7 @@ func run() int {
 
 func validID(id string) bool {
 	switch strings.ToUpper(id) {
-	case "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "A1", "A2", "A3", "M1":
+	case "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "A1", "A2", "A3", "M1":
 		return true
 	}
 	return false

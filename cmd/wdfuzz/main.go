@@ -1,14 +1,19 @@
-// Command wdfuzz cross-validates the evaluators on randomized
-// instances: for each trial it draws a random well-designed pattern
-// and a random graph, evaluates with the compositional semantics (both
-// join strategies), the Lemma 1 subtree enumeration, the top-down
-// enumeration, and probes memberships with the naive and pebble
-// decision procedures. Any disagreement is printed with a
-// reproducible seed and the process exits non-zero.
+// Command wdfuzz cross-validates the evaluators and the storage
+// backends on randomized instances: for each trial it draws a random
+// well-designed pattern and a random graph, evaluates with the
+// compositional semantics (both join strategies), the Lemma 1 subtree
+// enumeration, the top-down enumeration, and probes memberships with
+// the naive and pebble decision procedures. The top-down enumeration
+// additionally runs against every storage backend — the map graph, a
+// frozen clone, and sharded clones at each -shards count — and the
+// full row streams are diffed byte for byte (content AND order), so a
+// backend that returns the right set in the wrong order fails a trial.
+// Any disagreement is printed with a reproducible seed and the process
+// exits non-zero.
 //
 // Usage:
 //
-//	wdfuzz [-trials 1000] [-seed 1] [-union] [-depth 3]
+//	wdfuzz [-trials 1000] [-seed 1] [-union] [-depth 3] [-shards 1,2,7]
 package main
 
 import (
@@ -16,7 +21,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"slices"
 
+	"wdsparql/internal/bench"
 	"wdsparql/internal/core"
 	"wdsparql/internal/gen"
 	"wdsparql/internal/ptree"
@@ -29,8 +36,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	union := flag.Bool("union", false, "generate top-level UNION patterns")
 	depth := flag.Int("depth", 3, "operator tree depth")
+	shards := flag.String("shards", "1,2,7", "comma-separated shard counts for the sharded backend")
 	flag.Parse()
 
+	counts, err := bench.ParseShardCounts(*shards)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wdfuzz: -shards: %v\n", err)
+		os.Exit(2)
+	}
 	rng := rand.New(rand.NewSource(*seed))
 	failures := 0
 	for trial := 0; trial < *trials; trial++ {
@@ -40,7 +53,7 @@ func main() {
 			os.Exit(2)
 		}
 		g := randomGraph(rng)
-		if !checkTrial(trial, p, g) {
+		if !checkTrial(trial, p, g, counts) {
 			failures++
 			if failures >= 5 {
 				break
@@ -51,7 +64,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wdfuzz: %d failing trial(s)\n", failures)
 		os.Exit(1)
 	}
-	fmt.Printf("wdfuzz: %d trials passed (seed %d)\n", *trials, *seed)
+	fmt.Printf("wdfuzz: %d trials passed (seed %d, shard counts %v)\n", *trials, *seed, counts)
 }
 
 func randomGraph(rng *rand.Rand) *rdf.Graph {
@@ -65,7 +78,20 @@ func randomGraph(rng *rand.Rand) *rdf.Graph {
 	return g
 }
 
-func checkTrial(trial int, p sparql.Pattern, g *rdf.Graph) bool {
+// collectStream materialises the top-down row stream of the forest
+// over one backend as cloned rows. Each backend is compiled separately
+// against the same forest; identical dictionary IDs (clones preserve
+// them) make the rows directly comparable.
+func collectStream(f ptree.Forest, g *rdf.Graph) []rdf.Row {
+	var out []rdf.Row
+	core.CompileForest(f, g).Rows(func(r rdf.Row) bool {
+		out = append(out, r.Clone())
+		return true
+	})
+	return out
+}
+
+func checkTrial(trial int, p sparql.Pattern, g *rdf.Graph, shardCounts []int) bool {
 	report := func(format string, args ...interface{}) bool {
 		fmt.Fprintf(os.Stderr, "trial %d FAILED: %s\npattern: %s\ndata:\n%s",
 			trial, fmt.Sprintf(format, args...), p, rdf.FormatGraph(g))
@@ -87,15 +113,38 @@ func checkTrial(trial int, p sparql.Pattern, g *rdf.Graph) bool {
 	if topdown.Len() != ref.Len() {
 		return report("top-down %d vs compositional %d", topdown.Len(), ref.Len())
 	}
-	// The frozen CSR backend must be unobservable: the same top-down
-	// enumeration over a frozen clone yields the identical stream.
-	frozen := core.EnumerateTopDownForest(f, g.Clone().Freeze())
-	if frozen.Len() != ref.Len() {
-		return report("frozen backend %d vs compositional %d", frozen.Len(), ref.Len())
-	}
 	for _, mu := range ref.Slice() {
-		if !enum.Contains(mu) || !topdown.Contains(mu) || !frozen.Contains(mu) {
+		if !enum.Contains(mu) || !topdown.Contains(mu) {
 			return report("missing solution %s", mu)
+		}
+	}
+	// Storage backends must be unobservable: the row stream over the
+	// map graph is the reference, and the frozen clone plus every
+	// sharded clone must reproduce it byte for byte — content and
+	// order — through the same compiled enumeration.
+	want := collectStream(f, g)
+	if len(want) != ref.Len() {
+		return report("row stream %d vs compositional %d", len(want), ref.Len())
+	}
+	backends := []struct {
+		name string
+		g    *rdf.Graph
+	}{{"frozen", g.Clone().Freeze()}}
+	for _, n := range shardCounts {
+		backends = append(backends, struct {
+			name string
+			g    *rdf.Graph
+		}{fmt.Sprintf("sharded(%d)", n), g.Clone().Shard(n)})
+	}
+	for _, b := range backends {
+		got := collectStream(f, b.g)
+		if len(got) != len(want) {
+			return report("%s stream has %d rows, map has %d", b.name, len(got), len(want))
+		}
+		for i := range want {
+			if !slices.Equal(got[i], want[i]) {
+				return report("%s stream diverges at row %d: %v vs %v", b.name, i, got[i], want[i])
+			}
 		}
 	}
 	k := core.DominationWidth(f)

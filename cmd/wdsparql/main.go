@@ -10,7 +10,7 @@
 //
 // With -mu the command decides wdEVAL for one mapping; without it the
 // solution stream is printed (windowed by -limit/-offset, parallelised
-// by -workers). The -algo flag selects between the natural algorithm
+// by -workers, over sharded storage with -shards N). The -algo flag selects between the natural algorithm
 // ("naive"), the Theorem 1 pebble algorithm ("pebble", with -k the
 // domination-width bound) and the compositional reference semantics
 // ("compositional"); "topdown" forces the enumeration-based check.
@@ -39,6 +39,7 @@ func main() {
 	limit := flag.Int("limit", -1, "print at most this many solutions (negative: all)")
 	offset := flag.Int("offset", 0, "skip the first n solutions")
 	workers := flag.Int("workers", 1, "enumeration worker-pool size")
+	shards := flag.Int("shards", 1, "storage shard count (≥ 2 shards the graph by subject hash)")
 	stats := flag.Bool("stats", false, "print data statistics and evaluation counters")
 	flag.Parse()
 
@@ -62,20 +63,24 @@ func main() {
 		fatal(err)
 	}
 
-	if *stats {
-		backend := "map"
-		if g.Frozen() {
-			backend = "frozen (CSR, bulk-loaded)"
-		}
-		fmt.Fprintf(os.Stderr, "data: %s\nbackend: %s\n", rdf.Stats(g), backend)
-	}
-
 	alg := wdsparql.AlgNaive
 	if *algo == "pebble" {
 		alg = wdsparql.AlgPebble
 	}
 	engine := wdsparql.NewEngine(g,
-		wdsparql.WithAlgorithm(alg), wdsparql.WithPebbleK(*k), wdsparql.WithWorkers(*workers))
+		wdsparql.WithAlgorithm(alg), wdsparql.WithPebbleK(*k),
+		wdsparql.WithWorkers(*workers), wdsparql.WithShards(*shards))
+
+	if *stats {
+		backend := "map"
+		switch {
+		case g.Sharded():
+			backend = fmt.Sprintf("sharded (CSR, %d shards by subject hash)", g.ShardCount())
+		case g.Frozen():
+			backend = "frozen (CSR, bulk-loaded)"
+		}
+		fmt.Fprintf(os.Stderr, "data: %s\nbackend: %s\n", rdf.Stats(g), backend)
+	}
 	q, err := engine.Prepare(pattern)
 	if err != nil {
 		fatal(err)

@@ -57,6 +57,7 @@ type Engine struct {
 	alg     core.Algorithm
 	pebbleK int
 	workers int
+	shards  int
 }
 
 // Option configures an Engine.
@@ -77,25 +78,43 @@ func WithPebbleK(k int) Option { return func(e *Engine) { e.pebbleK = k } }
 // (sequential).
 func WithWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
 
+// WithShards seals the engine's graph into the sharded storage backend
+// with n shards (rdf.Graph.Shard) instead of the single-arena frozen
+// backend: triples partition by subject hash, each shard is its own
+// frozen CSR view, and parallel enumeration hands out work grouped by
+// shard. Results are byte-identical to every other backend; n ≤ 1
+// keeps the default Freeze. Pairs naturally with WithWorkers.
+func WithShards(n int) Option { return func(e *Engine) { e.shards = n } }
+
 // NewEngine returns an engine over the graph. A nil graph is replaced
 // by an empty one — useful for purely static analysis (widths, certain
 // variables) where no data is involved.
 //
-// NewEngine freezes the graph (rdf.Graph.Freeze) into the compact CSR
-// backend: engines only read, so every prepared query runs on O(1)
-// array probes and galloping range searches instead of map lookups.
-// Freezing is idempotent and preserves result content and order
-// exactly; note that it seals the caller's graph in place (a later
-// mutation of the graph transparently thaws it, under the existing
-// rule that the graph must not change while the engine is in use).
+// NewEngine seals the graph into a compact read-only backend: engines
+// only read, so every prepared query runs on O(1) array probes and
+// galloping range searches instead of map lookups. By default the
+// graph is frozen (rdf.Graph.Freeze); with WithShards(n) for n ≥ 2 it
+// is sharded instead (rdf.Graph.Shard) — both are idempotent and
+// preserve result content and order exactly. Note that sealing
+// happens in place on the caller's graph (a later mutation of the
+// graph transparently thaws it, under the existing rule that the
+// graph must not change while the engine is in use).
 func NewEngine(g *Graph, opts ...Option) *Engine {
 	if g == nil {
 		g = rdf.NewGraph()
 	}
-	g.Freeze()
 	e := &Engine{g: g, alg: core.AlgNaive, pebbleK: 1, workers: 1}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.shards > 1 {
+		g.Shard(e.shards)
+	} else if !g.Sharded() {
+		// Freeze by default, but keep a graph the caller already
+		// sharded (GraphFromTriplesSharded, Graph.Shard): re-freezing
+		// would silently discard the shard build and the caller's
+		// backend choice — the results are identical either way.
+		g.Freeze()
 	}
 	return e
 }

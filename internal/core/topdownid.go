@@ -266,10 +266,22 @@ func (fp *ForestProgram) EnumerateSet() *rdf.IDMappingSet {
 	return out
 }
 
-// RowsParallel streams ⟦F⟧G with the enumeration work partitioned
-// across root-homomorphism rows on a worker pool of the given size.
+// RowsParallel streams ⟦F⟧G with the enumeration work partitioned on a
+// worker pool of the given size. Work items are the top-level
+// candidate triples of each root search (hom.RowSearcher.SplitTop):
+// one item covers everything one candidate leads to — the rest of the
+// root homomorphism search plus all maximal extensions through the
+// children — so, unlike the earlier root-row partitioning, the root
+// search itself runs on the pool instead of being materialised
+// sequentially upfront. On a sharded graph items are handed to the
+// pool grouped by the shard of their candidate triple (the shard is a
+// pure function of the candidate's subject), so workers sweep one
+// shard's data at a time: real data partitioning, and the exact seam a
+// multi-node deployment would cut.
+//
 // The stream is identical to RowsContext — same rows, same order —
-// because completed work items are merged in their sequential order;
+// because completed work items are merged in their sequential
+// (candidate) order, whatever order the pool processed them in;
 // workers ≤ 1 degrades to the sequential path. yield runs on the
 // calling goroutine only. Cancelling ctx (or yield returning false)
 // stops every worker at its next yield boundary, and RowsParallel does
@@ -287,24 +299,38 @@ func (fp *ForestProgram) RowsParallel(ctx context.Context, workers int, yield fu
 	defer cancel()
 	stop := func() bool { return inner.Err() != nil }
 
-	// Materialise the root rows of every tree: they partition the
-	// enumeration into independent units.
+	// Split every root search at its top-level candidates. Trees whose
+	// root program has no branch point (an empty root pattern yields
+	// exactly the empty extension) become one whole-tree item.
 	type item struct {
-		root *compiledNode
-		row  rdf.Row
+		root  *compiledNode
+		cand  rdf.IDTriple
+		whole bool // run the entire tree sequentially
+		shard int
 	}
 	var items []item
 	st := fp.newState()
-	st.stop = stop
+	base := fp.layout.NewRow()
 	for _, root := range fp.roots {
-		row := fp.layout.NewRow()
-		st.searchers[root.idx].Run(row, func() bool {
-			if stop() {
-				return false
-			}
-			items = append(items, item{root: root, row: row.Clone()})
-			return true
-		})
+		cands, ok := st.searchers[root.idx].SplitTop(base)
+		if !ok {
+			items = append(items, item{root: root, whole: true})
+			continue
+		}
+		for _, c := range cands {
+			items = append(items, item{root: root, cand: c, shard: fp.g.ShardOf(c)})
+		}
+	}
+	// Processing order: shard-grouped on a sharded graph (stable, so
+	// within a shard items keep candidate order), plain candidate order
+	// otherwise. The merge below is indexed by item, not by processing
+	// order, so scheduling never leaks into the stream.
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	if fp.g.ShardCount() > 1 {
+		sort.SliceStable(order, func(a, b int) bool { return items[order[a]].shard < items[order[b]].shard })
 	}
 	if workers > len(items) {
 		workers = len(items)
@@ -323,22 +349,31 @@ func (fp *ForestProgram) RowsParallel(ctx context.Context, workers int, yield fu
 			ws := fp.newState()
 			ws.stop = stop
 			for i := range next {
-				copy(ws.row, items[i].row)
+				it := items[i]
 				var local []rdf.Row
-				ws.extendThrough(items[i].root.children, 0, func(r rdf.Row) bool {
+				emit := func(r rdf.Row) bool {
 					local = append(local, r.Clone())
 					return true
-				})
+				}
+				if it.whole {
+					ws.enumerateTree(it.root, emit)
+				} else {
+					fp.layout.Reset(ws.row)
+					ws.searchers[it.root.idx].RunOn(ws.row, it.cand, func() bool {
+						return ws.extendThrough(it.root.children, 0, emit)
+					})
+				}
 				results[i] = local
 				close(ready[i])
 			}
 		}()
 	}
 	// The feeder gives up (closing next, which drains the pool) as soon
-	// as the run is cancelled; until then it hands out items in order.
+	// as the run is cancelled; until then it hands out items in
+	// processing order.
 	go func() {
 		defer close(next)
-		for i := range items {
+		for _, i := range order {
 			select {
 			case next <- i:
 			case <-inner.Done():

@@ -96,19 +96,23 @@ func (s *RowSearcher) Run(assign rdf.Row, yield func() bool) bool {
 		return true
 	}
 	s.assign = assign
-	// Seed the bound-value stack from the pre-bound slots of the row
-	// (the paper's µ); rec pushes and pops the values it binds, so the
-	// stack always mirrors the bound portion of assign without the
-	// O(width) rescan rowInImage used to pay per candidate position.
+	s.seedBound(assign)
+	ok := s.rec(len(p.pats), yield)
+	s.assign = nil
+	return ok
+}
+
+// seedBound seeds the bound-value stack from the pre-bound slots of
+// the row (the paper's µ); rec pushes and pops the values it binds, so
+// the stack always mirrors the bound portion of assign without the
+// O(width) rescan rowInImage used to pay per candidate position.
+func (s *RowSearcher) seedBound(assign rdf.Row) {
 	s.bound = s.bound[:0]
 	for _, v := range assign {
 		if v != rdf.Unbound {
 			s.bound = append(s.bound, v)
 		}
 	}
-	ok := s.rec(len(p.pats), yield)
-	s.assign = nil
-	return ok
 }
 
 // substituteRow renders pattern i under the current row: bound slots
@@ -140,9 +144,31 @@ func (s *RowSearcher) rec(remaining int, yield func() bool) bool {
 	if remaining == 0 {
 		return yield()
 	}
+	best, bestPat, dead := s.pickPattern()
+	if dead {
+		return true // dead branch
+	}
+	s.done[best] = true
+	depth := len(s.prog.pats) - remaining
+	for _, sc := range s.scoredCandidates(best, bestPat, depth) {
+		if !s.bindAndRec(best, sc.t, remaining, yield) {
+			s.done[best] = false
+			return false
+		}
+	}
+	s.done[best] = false
+	return true
+}
+
+// pickPattern chooses the remaining pattern to expand — fail-first:
+// fewest matches under the current row, first such pattern on ties —
+// the deterministic branch decision every split of the same search
+// state reproduces (SplitTop and RunOn rely on exactly that). dead
+// reports that some remaining pattern has no matches at all, pruning
+// the whole branch.
+func (s *RowSearcher) pickPattern() (best int, bestPat rdf.IDTriple, dead bool) {
 	g := s.prog.g
 	best, bestCount := -1, -1
-	var bestPat rdf.IDTriple
 	for i := range s.prog.pats {
 		if s.done[i] {
 			continue
@@ -150,7 +176,7 @@ func (s *RowSearcher) rec(remaining int, yield func() bool) bool {
 		p := s.substituteRow(i)
 		c := g.MatchCountID(p)
 		if c == 0 {
-			return true // dead branch
+			return -1, rdf.IDTriple{}, true
 		}
 		if best == -1 || c < bestCount {
 			best, bestCount, bestPat = i, c, p
@@ -159,9 +185,15 @@ func (s *RowSearcher) rec(remaining int, yield func() bool) bool {
 			}
 		}
 	}
-	s.done[best] = true
+	return best, bestPat, false
+}
+
+// scoredCandidates materialises the candidate triples of pattern best
+// (rendered as bestPat under the current row) into the per-depth
+// buffer, scored and ordered succeed-first.
+func (s *RowSearcher) scoredCandidates(best int, bestPat rdf.IDTriple, depth int) []scoredCand {
+	g := s.prog.g
 	cp := &s.prog.pats[best]
-	depth := len(s.prog.pats) - remaining
 	cands := s.bufs[depth][:0]
 	raw, exact := g.LookupRangeID(bestPat)
 	for _, t := range raw {
@@ -183,31 +215,97 @@ func (s *RowSearcher) rec(remaining int, yield func() bool) bool {
 	if len(cands) > 1 {
 		sortCands(cands)
 	}
-	for _, sc := range cands {
-		t := sc.t
-		var newSlots [3]int32
-		n := 0
-		for pos := 0; pos < 3; pos++ {
-			c := cp.code[pos]
-			if c >= 0 && s.assign[c] == rdf.Unbound {
-				s.assign[c] = t[pos]
-				s.bound = append(s.bound, t[pos])
-				newSlots[n] = c
-				n++
-			}
-		}
-		more := s.rec(remaining-1, yield)
-		for j := 0; j < n; j++ {
-			s.assign[newSlots[j]] = rdf.Unbound
-		}
-		s.bound = s.bound[:len(s.bound)-n]
-		if !more {
-			s.done[best] = false
-			return false
+	return cands
+}
+
+// bindAndRec binds the fresh slots of pattern best to the candidate
+// triple t, recurses into the remaining patterns, and restores the row
+// and the bound stack on the way out.
+func (s *RowSearcher) bindAndRec(best int, t rdf.IDTriple, remaining int, yield func() bool) bool {
+	cp := &s.prog.pats[best]
+	var newSlots [3]int32
+	n := 0
+	for pos := 0; pos < 3; pos++ {
+		c := cp.code[pos]
+		if c >= 0 && s.assign[c] == rdf.Unbound {
+			s.assign[c] = t[pos]
+			s.bound = append(s.bound, t[pos])
+			newSlots[n] = c
+			n++
 		}
 	}
-	s.done[best] = false
-	return true
+	more := s.rec(remaining-1, yield)
+	for j := 0; j < n; j++ {
+		s.assign[newSlots[j]] = rdf.Unbound
+	}
+	s.bound = s.bound[:len(s.bound)-n]
+	return more
+}
+
+// SplitTop computes the top-level branch point of the search over the
+// partial row assign: the candidate triples of the fail-first-chosen
+// first pattern, in exactly the order Run would explore them. When ok,
+// Run(assign)'s stream is precisely the concatenation of
+// RunOn(assign, c) over the returned candidates in order — the seam
+// the parallel enumeration uses to partition root work by data (and,
+// on a sharded graph, by shard: each candidate's shard is a pure
+// function of its subject). Zero candidates with ok=true means the
+// stream is empty. ok=false means the search has no top-level branch
+// point — the program has no patterns, so Run yields exactly the empty
+// extension — and the caller must fall back to Run. The returned slice
+// is freshly allocated and caller-owned; assign is read, not written.
+func (s *RowSearcher) SplitTop(assign rdf.Row) ([]rdf.IDTriple, bool) {
+	p := s.prog
+	if len(assign) < p.width {
+		panic("hom: RowSearcher.SplitTop: row narrower than the compiled program")
+	}
+	if len(p.pats) == 0 {
+		return nil, false
+	}
+	if p.absent {
+		return nil, true // no matches: an empty stream, zero work items
+	}
+	s.assign = assign
+	s.seedBound(assign)
+	best, bestPat, dead := s.pickPattern()
+	var out []rdf.IDTriple
+	if !dead {
+		cands := s.scoredCandidates(best, bestPat, 0)
+		out = make([]rdf.IDTriple, len(cands))
+		for i, sc := range cands {
+			out[i] = sc.t
+		}
+	}
+	s.assign = nil
+	return out, true
+}
+
+// RunOn is Run with the top-level choice pinned to the candidate t,
+// which must come from SplitTop(assign): it re-derives the same
+// fail-first pattern choice (deterministic over the immutable graph),
+// binds t's fresh slots, and enumerates the remaining patterns'
+// extensions. The contract matches Run: every complete match is
+// written into assign before yield and undone afterwards, and the
+// return value reports exhaustion.
+func (s *RowSearcher) RunOn(assign rdf.Row, t rdf.IDTriple, yield func() bool) bool {
+	p := s.prog
+	if len(assign) < p.width {
+		panic("hom: RowSearcher.RunOn: row narrower than the compiled program")
+	}
+	if len(p.pats) == 0 || p.absent {
+		return true
+	}
+	s.assign = assign
+	s.seedBound(assign)
+	best, _, dead := s.pickPattern()
+	ok := true
+	if !dead {
+		s.done[best] = true
+		ok = s.bindAndRec(best, t, len(p.pats), yield)
+		s.done[best] = false
+	}
+	s.assign = nil
+	return ok
 }
 
 // rowInImage reports whether the value is already in the image of the

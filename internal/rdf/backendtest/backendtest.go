@@ -1,0 +1,233 @@
+// Package backendtest is the differential test suite that pins every
+// storage backend of rdf.Graph to the map-backed reference. The
+// paper's correctness guarantees (Romero, PODS 2018) are proved for
+// one abstract graph; the implementation has three physical
+// representations (map, frozen CSR, sharded CSR) behind one read API,
+// so the guarantees survive only if the backends are observationally
+// equivalent — same triples, same insertion order, byte for byte, on
+// every read operation. RunBackendSuite is that equivalence check,
+// written once and instantiated per backend, replacing the per-backend
+// copy-paste cross-validation tests that preceded it.
+package backendtest
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"wdsparql/internal/gen"
+	"wdsparql/internal/rdf"
+)
+
+// Trials is the number of random twin graphs the suite draws. Each
+// trial also probes ~30 random patterns, so a run covers thousands of
+// read operations per backend.
+const Trials = 200
+
+// MakeGraph builds the backend under test from an insertion-ordered
+// ground triple list. Loading the same list must assign the same
+// dictionary IDs in the same order as rdf.GraphOf — every seal path in
+// the package (Freeze, Shard, GraphBuilder) preserves that.
+type MakeGraph func(ts []rdf.Triple) *rdf.Graph
+
+// RunBackendSuite runs the differential suite: Trials random graphs,
+// each loaded both as the map-backed reference (rdf.GraphOf) and
+// through make, then compared — content AND order — on every read
+// operation of the Graph API, including repeated-variable patterns,
+// constants absent from the graph, constants interned only after the
+// seal, and the thaw-on-mutation / re-seal lifecycle.
+func RunBackendSuite(t *testing.T, mk MakeGraph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < Trials; trial++ {
+		ts := randTriples(rng)
+		ref := rdf.GraphOf(ts...)
+		got := mk(ts)
+		checkTwins(t, trial, ref, got, rng)
+		if t.Failed() {
+			return
+		}
+	}
+	t.Run("lifecycle", func(t *testing.T) { checkLifecycle(t, mk) })
+	t.Run("unseen-constant", func(t *testing.T) { checkUnseenConstant(t, mk) })
+	t.Run("empty", func(t *testing.T) { checkEmpty(t, mk) })
+}
+
+// randTriples draws a random graph shape (Erdős–Rényi, Turán, social
+// network) and returns its triples in insertion order.
+func randTriples(rng *rand.Rand) []rdf.Triple {
+	var g *rdf.Graph
+	switch rng.Intn(3) {
+	case 0:
+		g = gen.Random(12, 40, 3, rng.Int63())
+	case 1:
+		g = gen.Turan(8, 3, "r")
+	default:
+		g = gen.SocialNetwork(10, rng.Int63())
+	}
+	ts := make([]rdf.Triple, 0, g.Len())
+	for _, id := range g.TriplesID() {
+		ts = append(ts, g.Dict().DecodeTriple(id))
+	}
+	return ts
+}
+
+// randPattern draws a triple pattern whose constants mostly occur in
+// the domain (sometimes not, exercising the dictionary-miss path),
+// with repeated variables common ("x" appears twice in the name pool).
+func randPattern(rng *rand.Rand, dom []string) rdf.Triple {
+	names := []string{"x", "y", "x", "z"}
+	term := func() rdf.Term {
+		switch rng.Intn(4) {
+		case 0:
+			return rdf.Var(names[rng.Intn(len(names))])
+		case 1:
+			return rdf.IRI("not-in-graph")
+		default:
+			return rdf.IRI(dom[rng.Intn(len(dom))])
+		}
+	}
+	return rdf.T(term(), term(), term())
+}
+
+// checkTwins compares every read operation of the two graphs.
+func checkTwins(t *testing.T, trial int, ref, got *rdf.Graph, rng *rand.Rand) {
+	t.Helper()
+	if ref.Len() != got.Len() || ref.DomSize() != got.DomSize() {
+		t.Fatalf("trial %d: Len/DomSize: %d/%d reference vs %d/%d backend",
+			trial, ref.Len(), ref.DomSize(), got.Len(), got.DomSize())
+	}
+	// Insertion order and membership, including perturbed absent
+	// triples (a rotation of a present triple is almost never present).
+	gotIDs := got.TriplesID()
+	for i, id := range ref.TriplesID() {
+		if gotIDs[i] != id {
+			t.Fatalf("trial %d: TriplesID[%d] = %v backend, want %v", trial, i, gotIDs[i], id)
+		}
+		if !got.ContainsID(id) {
+			t.Fatalf("trial %d: backend lost triple %v", trial, id)
+		}
+		absent := rdf.IDTriple{id[2], id[0], id[1]}
+		if ref.ContainsID(absent) != got.ContainsID(absent) {
+			t.Fatalf("trial %d: ContainsID(%v) disagrees", trial, absent)
+		}
+	}
+	if !slices.Equal(ref.Dom(), got.Dom()) {
+		t.Fatalf("trial %d: Dom disagrees", trial)
+	}
+	for _, id := range ref.DomIDs() {
+		if ref.OccurrencesID(id) != got.OccurrencesID(id) {
+			t.Fatalf("trial %d: OccurrencesID(%v): %d vs %d",
+				trial, id, ref.OccurrencesID(id), got.OccurrencesID(id))
+		}
+		if !got.HasIRI(ref.Dict().StringOf(id)) {
+			t.Fatalf("trial %d: HasIRI lost %v", trial, id)
+		}
+	}
+	// Pattern probes: every index shape, repeated variables, misses.
+	dom := ref.Dom()
+	for probe := 0; probe < 30; probe++ {
+		pat := randPattern(rng, dom)
+		ipr, okr := ref.EncodePattern(pat)
+		ipg, okg := got.EncodePattern(pat)
+		if okr != okg || ipr != ipg {
+			t.Fatalf("trial %d: EncodePattern disagrees on %v", trial, pat)
+		}
+		if !okr {
+			continue
+		}
+		if cr, cg := ref.MatchCountID(ipr), got.MatchCountID(ipg); cr != cg {
+			t.Fatalf("trial %d: MatchCountID(%v) = %d reference vs %d backend", trial, ipr, cr, cg)
+		}
+		if mr, mg := ref.MatchID(ipr), got.MatchID(ipg); !slices.Equal(mr, mg) {
+			t.Fatalf("trial %d: MatchID(%v) differs (content or order):\nreference: %v\nbackend:   %v",
+				trial, ipr, mr, mg)
+		}
+		if cr, cg := ref.CandidatesID(ipr), got.CandidatesID(ipg); !slices.Equal(cr, cg) {
+			t.Fatalf("trial %d: CandidatesID(%v) differs (content or order):\nreference: %v\nbackend:   %v",
+				trial, ipr, cr, cg)
+		}
+		rr, er := ref.LookupRangeID(ipr)
+		rg, eg := got.LookupRangeID(ipg)
+		if er != eg || !slices.Equal(rr, rg) {
+			t.Fatalf("trial %d: LookupRangeID(%v) differs", trial, ipr)
+		}
+	}
+}
+
+// checkLifecycle verifies that mutation thaws the backend to the map
+// representation transparently (no triple lost, no duplicate admitted)
+// and that the thawed graph can be re-sealed either way.
+func checkLifecycle(t *testing.T, mk MakeGraph) {
+	t.Helper()
+	ts := randTriples(rand.New(rand.NewSource(7)))
+	g := mk(ts)
+	n := g.Len()
+	g.AddTriple("thaw-s", "thaw-p", "thaw-o")
+	if g.Frozen() || g.Sharded() {
+		t.Fatal("mutation must thaw to the map backend")
+	}
+	if g.Len() != n+1 || !g.Contains(rdf.T(rdf.IRI("thaw-s"), rdf.IRI("thaw-p"), rdf.IRI("thaw-o"))) {
+		t.Fatal("triple lost across thaw")
+	}
+	g.AddTriple("thaw-s", "thaw-p", "thaw-o") // duplicate must be dropped
+	if g.Len() != n+1 {
+		t.Fatal("duplicate insert after thaw")
+	}
+	// Re-seal both ways; the twin is the thawed graph itself.
+	for _, seal := range []struct {
+		name string
+		do   func(*rdf.Graph) *rdf.Graph
+	}{
+		{"freeze", func(g *rdf.Graph) *rdf.Graph { return g.Freeze() }},
+		{"shard", func(g *rdf.Graph) *rdf.Graph { return g.Shard(3) }},
+	} {
+		c := seal.do(g.Clone())
+		checkTwins(t, -1, g, c, rand.New(rand.NewSource(11)))
+		if t.Failed() {
+			t.Fatalf("re-seal through %s broke agreement", seal.name)
+		}
+	}
+}
+
+// checkUnseenConstant verifies that pattern constants interned only
+// after the seal (the dictionary grows, the sealed offsets do not)
+// match nothing rather than read out of bounds.
+func checkUnseenConstant(t *testing.T, mk MakeGraph) {
+	t.Helper()
+	g := mk([]rdf.Triple{rdf.T(rdf.IRI("a"), rdf.IRI("p"), rdf.IRI("b"))})
+	late := g.Dict().InternIRI("late")
+	for _, p := range []rdf.IDTriple{
+		{late, rdf.VarID(0), rdf.VarID(1)},
+		{rdf.VarID(0), late, rdf.VarID(1)},
+		{rdf.VarID(0), rdf.VarID(1), late},
+		{late, late, late},
+	} {
+		if g.MatchCountID(p) != 0 || len(g.CandidatesID(p)) != 0 || g.ContainsID(rdf.IDTriple{late, late, late}) {
+			t.Fatalf("pattern %v with post-seal constant matched", p)
+		}
+	}
+}
+
+// checkEmpty verifies the degenerate graph.
+func checkEmpty(t *testing.T, mk MakeGraph) {
+	t.Helper()
+	g := mk(nil)
+	if g.Len() != 0 || g.DomSize() != 0 {
+		t.Fatal("empty graph misbehaves")
+	}
+	if got := g.MatchCountID(rdf.IDTriple{rdf.VarID(0), rdf.VarID(1), rdf.VarID(2)}); got != 0 {
+		t.Fatalf("empty MatchCountID = %d", got)
+	}
+}
+
+// SuiteName returns a conventional subtest name for a backend at a
+// shard count, so the per-backend instantiations read uniformly in
+// test output.
+func SuiteName(backend string, shards int) string {
+	if shards > 0 {
+		return fmt.Sprintf("%s/shards=%d", backend, shards)
+	}
+	return backend
+}

@@ -56,6 +56,32 @@ func (b *GraphBuilder) Len() int { return len(b.g.all) }
 // freeze. The builder must not be used afterwards. Mutating the
 // returned graph thaws it like any frozen graph.
 func (b *GraphBuilder) Graph() *Graph {
+	g := b.seal()
+	g.frz = freezeGraph(g)
+	g.set = nil
+	return g
+}
+
+// Sharded compacts the accumulated triples directly into a sharded
+// graph with n shards (n ≥ 1, like Graph.Shard): the same counting
+// pass as Graph, then one partition pass and a per-shard CSR freeze —
+// neither the map indexes nor an intermediate single-arena frozen view
+// is ever built. The builder must not be used afterwards. The result
+// is identical to Graph() followed by Shard(n): same triples, same
+// dictionary IDs, same insertion order.
+func (b *GraphBuilder) Sharded(n int) *Graph {
+	if n < 1 {
+		panic("rdf: GraphBuilder.Sharded: shard count must be ≥ 1")
+	}
+	g := b.seal()
+	g.shd = shardGraph(g, n)
+	g.set = nil
+	return g
+}
+
+// seal detaches the accumulated graph from the builder and runs the
+// counting pass that sizes the occurrence table and dom(G).
+func (b *GraphBuilder) seal() *Graph {
 	g := b.g
 	b.g = nil
 	g.occ = make([]int32, g.dict.NumIRIs())
@@ -67,8 +93,6 @@ func (b *GraphBuilder) Graph() *Graph {
 			g.occ[id]++
 		}
 	}
-	g.frz = freezeGraph(g)
-	g.set = nil
 	return g
 }
 
@@ -82,4 +106,17 @@ func GraphFromTriples(ts []Triple) *Graph {
 		b.Add(t)
 	}
 	return b.Graph()
+}
+
+// GraphFromTriplesSharded bulk-loads ground triples into a sharded
+// graph with n shards. It is equivalent to GraphOf(ts...).Shard(n) —
+// same triples, same dictionary IDs, same insertion order — but
+// compacts straight into the per-shard CSR views without ever building
+// the map indexes.
+func GraphFromTriplesSharded(ts []Triple, n int) *Graph {
+	b := NewGraphBuilder(len(ts))
+	for _, t := range ts {
+		b.Add(t)
+	}
+	return b.Sharded(n)
 }

@@ -79,14 +79,20 @@ type frozenView struct {
 const frozenAbsent = ^uint32(0)
 
 // freezeGraph builds the frozen view of the graph's current triple
-// set in O(|G| + |dict|): three counting passes for the offsets, six
+// set; see freezeTriples.
+func freezeGraph(g *Graph) *frozenView {
+	return freezeTriples(g.all, g.dict.NumIRIs())
+}
+
+// freezeTriples builds a frozen view over an insertion-ordered triple
+// slice in O(|all| + ni): three counting passes for the offsets, six
 // stable scatter passes for the arenas, one insertion pass for the
 // membership table. No comparison sort is involved — the secondary
 // arenas come out of a two-pass LSD bucket sort whose stability is
-// what preserves insertion order inside every (k1,k2) range.
-func freezeGraph(g *Graph) *frozenView {
-	all := g.all
-	ni := g.dict.NumIRIs()
+// what preserves insertion order inside every (k1,k2) range. The
+// sharded backend calls this once per shard with the shard's subset of
+// the graph's triples (still in insertion order).
+func freezeTriples(all []IDTriple, ni int) *frozenView {
 	f := &frozenView{nIRIs: ni, all: all}
 	f.offS = bucketOffsets(all, 0, ni)
 	f.offP = bucketOffsets(all, 1, ni)
@@ -232,9 +238,18 @@ func (f *frozenView) range1(off []uint32, arena []IDTriple, key TermID) []IDTrip
 // secondarily-sorted arena, located by galloping search over the
 // dense key column.
 func (f *frozenView) range2(off []uint32, arena []IDTriple, keys []TermID, k1, k2 TermID) []IDTriple {
+	b, e := f.range2Bounds(off, keys, k1, k2)
+	return arena[b:e]
+}
+
+// range2Bounds locates the (k1,k2) run and returns its absolute
+// [begin, end) index range into the arena (empty range on a miss). The
+// sharded backend uses the indexes to slice the arena and its aligned
+// sequence-number column in lockstep.
+func (f *frozenView) range2Bounds(off []uint32, keys []TermID, k1, k2 TermID) (uint32, uint32) {
 	k := int(k1)
 	if k >= f.nIRIs {
-		return nil
+		return 0, 0
 	}
 	b, e := off[k], off[k+1]
 	grp := keys[b:e]
@@ -253,11 +268,11 @@ func (f *frozenView) range2(off []uint32, arena []IDTriple, keys []TermID, k1, k
 	} else {
 		lo = gallopFloor(grp, k2)
 		if lo == len(grp) || grp[lo] != k2 {
-			return nil
+			return b, b
 		}
 		hi = lo + gallopFloor(grp[lo:], k2+1)
 	}
-	return arena[b+uint32(lo) : b+uint32(hi)]
+	return b + uint32(lo), b + uint32(hi)
 }
 
 // smallGroup is the group size below which range2 scans linearly
@@ -341,6 +356,7 @@ func (f *frozenView) candidates(p IDTriple) []IDTriple {
 func (g *Graph) Freeze() *Graph {
 	if g.frz == nil {
 		g.frz = freezeGraph(g)
+		g.shd = nil // freezing a sharded graph re-seals single-arena
 		g.set = nil
 		g.byS, g.byP, g.byO = nil, nil, nil
 		g.bySP, g.byPO, g.bySO = nil, nil, nil
@@ -352,11 +368,13 @@ func (g *Graph) Freeze() *Graph {
 func (g *Graph) Frozen() bool { return g.frz != nil }
 
 // thaw rebuilds the map indexes from the insertion-order slice and
-// discards the frozen view; called by the mutation path when a frozen
-// graph is modified. Posting lists are rebuilt in insertion order, so
-// a thawed graph is indistinguishable from one that was never frozen.
+// discards the frozen (or sharded) view; called by the mutation path
+// when a sealed graph is modified. Posting lists are rebuilt in
+// insertion order, so a thawed graph is indistinguishable from one
+// that was never sealed.
 func (g *Graph) thaw() {
 	g.frz = nil
+	g.shd = nil
 	g.set = make(map[IDTriple]struct{}, len(g.all))
 	g.byS = map[TermID][]IDTriple{}
 	g.byP = map[TermID][]IDTriple{}

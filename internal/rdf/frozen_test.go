@@ -1,12 +1,11 @@
-// Cross-validation of the frozen CSR backend against the map backend:
-// the two storage representations must agree — content AND order — on
-// every read operation, on randomized graphs and patterns (including
-// repeated-variable patterns), and the freeze lifecycle (idempotence,
-// thaw on mutation, bulk load) must be invisible to consumers.
+// Lifecycle and bulk-load tests specific to the frozen CSR backend.
+// The read-API cross-validation against the map backend that used to
+// live here is now the reusable differential suite of
+// internal/rdf/backendtest, instantiated for every backend in
+// sharded_test.go.
 package rdf_test
 
 import (
-	"math/rand"
 	"slices"
 	"testing"
 
@@ -14,91 +13,7 @@ import (
 	"wdsparql/internal/rdf"
 )
 
-// frozenTwin returns a map-backed and a frozen graph with identical
-// triples, identical dictionary IDs and identical insertion order:
-// for even trials the frozen twin is a bulk load (GraphFromTriples),
-// for odd trials a Clone().Freeze() — covering both construction
-// paths.
-func frozenTwin(rng *rand.Rand, trial int) (*rdf.Graph, *rdf.Graph) {
-	gm := randGraph(rng)
-	if trial%2 == 0 {
-		ts := make([]rdf.Triple, 0, gm.Len())
-		for _, id := range gm.TriplesID() {
-			ts = append(ts, gm.Dict().DecodeTriple(id))
-		}
-		// Rebuild the map twin from the same list so both twins intern
-		// in the same order (randGraph's own insertion order already
-		// matches, but this keeps the test self-contained).
-		return rdf.GraphOf(ts...), rdf.GraphFromTriples(ts)
-	}
-	return gm, gm.Clone().Freeze()
-}
-
 func sameTriples(a, b []rdf.IDTriple) bool { return slices.Equal(a, b) }
-
-func TestFrozenAgreesWithMapBackend(t *testing.T) {
-	rng := rand.New(rand.NewSource(61))
-	for trial := 0; trial < 200; trial++ {
-		gm, gf := frozenTwin(rng, trial)
-		if !gf.Frozen() || gm.Frozen() {
-			t.Fatalf("trial %d: backend mix-up (map frozen=%v, frozen frozen=%v)", trial, gm.Frozen(), gf.Frozen())
-		}
-		if gm.Len() != gf.Len() || gm.DomSize() != gf.DomSize() {
-			t.Fatalf("trial %d: Len/DomSize disagree: %d/%d vs %d/%d",
-				trial, gm.Len(), gm.DomSize(), gf.Len(), gf.DomSize())
-		}
-		dom := gm.Dom()
-		for probe := 0; probe < 30; probe++ {
-			pat := randPattern(rng, dom)
-			ipm, okm := gm.EncodePattern(pat)
-			ipf, okf := gf.EncodePattern(pat)
-			if okm != okf || ipm != ipf {
-				t.Fatalf("trial %d: EncodePattern disagrees on %v", trial, pat)
-			}
-			if !okm {
-				continue
-			}
-			if cm, cf := gm.MatchCountID(ipm), gf.MatchCountID(ipf); cm != cf {
-				t.Fatalf("trial %d: MatchCountID(%v) = %d map vs %d frozen", trial, ipm, cm, cf)
-			}
-			if mm, mf := gm.MatchID(ipm), gf.MatchID(ipf); !sameTriples(mm, mf) {
-				t.Fatalf("trial %d: MatchID(%v) differs (content or order):\nmap:    %v\nfrozen: %v",
-					trial, ipm, mm, mf)
-			}
-			if cm, cf := gm.CandidatesID(ipm), gf.CandidatesID(ipf); !sameTriples(cm, cf) {
-				t.Fatalf("trial %d: CandidatesID(%v) differs (content or order):\nmap:    %v\nfrozen: %v",
-					trial, ipm, cm, cf)
-			}
-			rm, em := gm.LookupRangeID(ipm)
-			rf, ef := gf.LookupRangeID(ipf)
-			if em != ef || !sameTriples(rm, rf) {
-				t.Fatalf("trial %d: LookupRangeID(%v) differs", trial, ipm)
-			}
-		}
-		// Membership: every triple of G, plus perturbed absent triples.
-		for i, id := range gm.TriplesID() {
-			if !gf.ContainsID(id) {
-				t.Fatalf("trial %d: frozen lost triple %v", trial, id)
-			}
-			if gf.TriplesID()[i] != id {
-				t.Fatalf("trial %d: insertion order changed at %d", trial, i)
-			}
-			absent := rdf.IDTriple{id[2], id[0], id[1]}
-			if gm.ContainsID(absent) != gf.ContainsID(absent) {
-				t.Fatalf("trial %d: ContainsID(%v) disagrees", trial, absent)
-			}
-		}
-		// Occurrence counts and dom agree.
-		for _, id := range gm.DomIDs() {
-			if gm.OccurrencesID(id) != gf.OccurrencesID(id) {
-				t.Fatalf("trial %d: OccurrencesID(%v) disagrees", trial, id)
-			}
-			if !gf.HasIRI(gm.Dict().StringOf(id)) {
-				t.Fatalf("trial %d: HasIRI lost %v", trial, id)
-			}
-		}
-	}
-}
 
 // Freeze is idempotent, and mutation thaws transparently: a frozen
 // graph that is mutated behaves exactly like a never-frozen graph
@@ -172,6 +87,15 @@ func TestBulkLoadEquivalence(t *testing.T) {
 	if !sameTriples(inc.TriplesID(), bulk.TriplesID()) {
 		t.Fatalf("IDs or insertion order differ: %v vs %v", inc.TriplesID(), bulk.TriplesID())
 	}
+	// The sharded bulk load is equivalent to sealing the same list
+	// through Shard — including the dropped duplicate.
+	shardedBulk := rdf.GraphFromTriplesSharded(ts, 2)
+	if !shardedBulk.Sharded() || shardedBulk.ShardCount() != 2 {
+		t.Fatal("GraphFromTriplesSharded must return a sharded graph")
+	}
+	if !sameTriples(shardedBulk.TriplesID(), inc.TriplesID()) {
+		t.Fatal("sharded bulk load changed IDs or order")
+	}
 	parsed, err := rdf.ParseGraph("a p b .\nb p c .\na q c .\na p b .\nc q a .")
 	if err != nil {
 		t.Fatal(err)
@@ -181,37 +105,5 @@ func TestBulkLoadEquivalence(t *testing.T) {
 	}
 	if !sameTriples(parsed.TriplesID(), inc.TriplesID()) {
 		t.Fatal("ReadGraph bulk load changed IDs or order")
-	}
-}
-
-// The empty graph freezes and answers correctly.
-func TestFreezeEmptyGraph(t *testing.T) {
-	g := rdf.NewGraph().Freeze()
-	if g.Len() != 0 || g.ContainsID(rdf.IDTriple{0, 0, 0}) {
-		t.Fatal("empty frozen graph misbehaves")
-	}
-	if got := g.MatchCountID(rdf.IDTriple{rdf.VarID(0), rdf.VarID(1), rdf.VarID(2)}); got != 0 {
-		t.Fatalf("empty frozen MatchCountID = %d", got)
-	}
-	if b := rdf.NewGraphBuilder(0); b.Graph().Len() != 0 {
-		t.Fatal("empty builder misbehaves")
-	}
-}
-
-// Pattern constants interned after the freeze (dictionary grows, the
-// frozen offsets do not) must match nothing rather than read out of
-// bounds.
-func TestFrozenUnseenConstant(t *testing.T) {
-	g := rdf.GraphOf(rdf.T(rdf.IRI("a"), rdf.IRI("p"), rdf.IRI("b"))).Freeze()
-	late := g.Dict().InternIRI("late")
-	for _, p := range []rdf.IDTriple{
-		{late, rdf.VarID(0), rdf.VarID(1)},
-		{rdf.VarID(0), late, rdf.VarID(1)},
-		{rdf.VarID(0), rdf.VarID(1), late},
-		{late, late, late},
-	} {
-		if g.MatchCountID(p) != 0 || len(g.CandidatesID(p)) != 0 {
-			t.Fatalf("pattern %v with post-freeze constant matched", p)
-		}
 	}
 }

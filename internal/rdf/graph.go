@@ -48,6 +48,7 @@ type Graph struct {
 	occ     []int32 // occurrence count per IRI ID across all positions
 	domSize int     // |dom(G)| = number of IRI IDs with occ > 0
 	frz     *frozenView
+	shd     *ShardedGraph
 }
 
 // NewGraph returns an empty RDF graph.
@@ -112,7 +113,7 @@ func (g *Graph) AddID(t IDTriple) {
 }
 
 func (g *Graph) addID(t IDTriple) {
-	if g.frz != nil {
+	if g.frz != nil || g.shd != nil {
 		g.thaw()
 	}
 	if _, ok := g.set[t]; ok {
@@ -230,6 +231,9 @@ func (g *Graph) Contains(t Triple) bool {
 
 // ContainsID reports whether the encoded ground triple is in G.
 func (g *Graph) ContainsID(t IDTriple) bool {
+	if sg := g.shd; sg != nil {
+		return sg.contains(t)
+	}
 	if f := g.frz; f != nil {
 		_, ok := f.contains(t)
 		return ok
@@ -314,8 +318,9 @@ func (g *Graph) Match(p Triple) []Triple {
 func (g *Graph) MatchID(p IDTriple) []IDTriple {
 	cands, exact := g.LookupRangeID(p)
 	if exact {
-		if g.frz != nil {
-			return cands // immutable arena range: zero-copy
+		if g.frz != nil || g.shd != nil {
+			// Immutable arena range or freshly merged slice: no copy.
+			return cands
 		}
 		out := make([]IDTriple, len(cands))
 		copy(out, cands)
@@ -342,8 +347,13 @@ func (g *Graph) MatchCount(p Triple) int {
 // MatchCountID returns the number of triples matching the encoded
 // pattern. When the pattern has no repeated variables the count is the
 // posting-list (or frozen range) length, with no scan: O(1) for at
-// most one bound position, O(log) for two on the frozen backend.
+// most one bound position, O(log) for two on the frozen backend. On
+// the sharded backend cross-shard counts are sums of per-shard range
+// lengths — no merge is materialised.
 func (g *Graph) MatchCountID(p IDTriple) int {
+	if sg := g.shd; sg != nil && !hasRepeatedVar(p) {
+		return sg.count(p)
+	}
 	cands, exact := g.LookupRangeID(p)
 	if exact {
 		return len(cands)
@@ -379,10 +389,15 @@ func (g *Graph) LookupRangeID(p IDTriple) ([]IDTriple, bool) {
 // CandidatesID selects the most selective index for the encoded
 // pattern and returns its posting list. Every triple matching the
 // pattern is in the list; the list may contain non-matches when the
-// pattern has repeated variables. Both backends return the same
-// triples in the same (insertion) order. The slice is internal
-// storage: callers must not modify it.
+// pattern has repeated variables. All backends return the same
+// triples in the same (insertion) order — on the sharded backend a
+// cross-shard list is a freshly merged slice (see ShardedGraph),
+// everywhere else the slice is internal storage; either way callers
+// must not modify it.
 func (g *Graph) CandidatesID(p IDTriple) []IDTriple {
+	if sg := g.shd; sg != nil {
+		return sg.candidates(p)
+	}
 	if f := g.frz; f != nil {
 		return f.candidates(p)
 	}
@@ -479,13 +494,18 @@ func (g *Graph) String() string { return FormatGraph(g) }
 func (g *Graph) Clone() *Graph {
 	out := NewGraph()
 	out.dict = g.dict.Clone()
-	if g.frz != nil {
-		// The map indexes of a frozen graph are gone; copy the
+	if g.frz != nil || g.shd != nil {
+		// The map indexes of a sealed graph are gone; copy the
 		// insertion-order state and compact directly instead of
-		// rebuilding maps that Freeze would immediately discard.
+		// rebuilding maps that the re-seal would immediately discard.
+		// A frozen graph clones to a frozen graph, a sharded graph to
+		// a sharded graph with the same shard count.
 		out.all = append(out.all, g.all...)
 		out.occ = append(out.occ, g.occ...)
 		out.domSize = g.domSize
+		if g.shd != nil {
+			return out.Shard(g.shd.n)
+		}
 		return out.Freeze()
 	}
 	for _, t := range g.all {
