@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet bench cover
+.PHONY: check vet bench cover serve
 
 # Tier-1 verification: everything must build and every test must pass.
 check:
@@ -13,14 +13,22 @@ vet:
 # Headline perf trajectory: the E3 frontier benchmark (naive and pebble
 # series), the E9 enumeration benchmark (string pipeline vs compiled
 # rows), the E10 engine benchmark (prepared vs one-shot execution), the
-# E11 storage benchmark (frozen CSR backend vs map backend) and the E12
-# sharding benchmark (sharded backend vs frozen, per shard count),
-# recorded as go-test JSON events so the numbers are tracked across
-# PRs. Bump the artifact name (BENCH_<n>.json) per PR.
-BENCH_OUT ?= BENCH_5.json
+# E11 storage benchmark (frozen CSR backend vs map backend), the E12
+# sharding benchmark (sharded backend vs frozen, per shard count) and
+# the E13 serving benchmark (HTTP request latency per engine mode plus
+# the overload cell's shed%/p99 metrics), recorded as go-test JSON
+# events so the numbers are tracked across PRs. Bump the artifact name
+# (BENCH_<n>.json) per PR.
+BENCH_OUT ?= BENCH_6.json
 bench:
-	$(GO) test -bench='E3|E9|E10|E11|E12' -benchmem -run='^$$' -json > $(BENCH_OUT)
+	$(GO) test -bench='E3|E9|E10|E11|E12|E13' -benchmem -run='^$$' -json > $(BENCH_OUT)
 	@grep 'ns/op' $(BENCH_OUT) | sed -E 's/.*"Output":"(.*)\\n".*/\1/; s/\\t/\t/g'
+
+# Run the streaming SPARQL endpoint over an N-Triples file:
+#   make serve GRAPH=data.nt SERVE_FLAGS='-addr :8080 -shards 4'
+GRAPH ?= examples/social.nt
+serve:
+	$(GO) run ./cmd/wdserve -data $(GRAPH) $(SERVE_FLAGS)
 
 # Coverage with the gate CI enforces: the total statement coverage must
 # not drop below the recorded baseline (see .github/workflows/ci.yml).

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"wdsparql"
 	"wdsparql/internal/bench"
@@ -545,4 +546,87 @@ func BenchmarkMicroPebbleClosure(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pebble.Decide(2, gt, rdf.NewMapping(), g)
 	}
+}
+
+// BenchmarkE13Serving measures the serving layer end to end: real HTTP
+// requests against a wdserve endpoint streaming the E10 workload
+// (request/* sub-benchmarks, one GET + full decode per iteration, per
+// engine mode), and an overload cell (64-client herd against a gate of
+// 8 with a short bounded queue) whose reported metrics are the point:
+// shed% — the fraction refused with a fast 503 — and p99_ms, the tail
+// latency of the requests actually served, bounded by gate depth ×
+// service time instead of growing with the herd.
+func BenchmarkE13Serving(b *testing.B) {
+	ts := bench.E9Data(128).Triples()
+	wantRows := func(eng *wdsparql.Engine, text string, opts ...wdsparql.ExecOption) int {
+		q, err := eng.PrepareText(text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := q.Count(context.Background(), opts...)
+		if err != nil || n == 0 {
+			b.Fatalf("empty serving workload: %d, %v", n, err)
+		}
+		return n
+	}
+	modes := []struct {
+		name   string
+		graph  *rdf.Graph
+		params map[string][]string
+	}{
+		{"sequential", rdf.GraphFromTriples(ts), nil},
+		{"parallel-4", rdf.GraphFromTriples(ts), map[string][]string{"workers": {"4"}}},
+		{"sharded-4", rdf.GraphFromTriplesSharded(ts, 4), nil},
+	}
+	for _, m := range modes {
+		eng := wdsparql.NewEngine(m.graph, wdsparql.WithQueryCache(16))
+		want := wantRows(eng, bench.E13QueryText, wdsparql.Limit(bench.E13RowLimit))
+		b.Run("request/"+m.name, func(b *testing.B) {
+			base, stop, err := bench.E13StartServer(eng, 8, 16, time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer stop()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cell := bench.E13Load(base, 1, 1, m.params, want)
+				if cell.OK != 1 || !cell.Agree {
+					b.Fatalf("bad response: %+v", cell)
+				}
+			}
+		})
+	}
+	b.Run("overload", func(b *testing.B) {
+		eng := wdsparql.NewEngine(rdf.GraphFromTriples(ts), wdsparql.WithQueryCache(16))
+		want := wantRows(eng, bench.E13OverloadQueryText,
+			wdsparql.Limit(bench.E13RowLimit), wdsparql.Offset(bench.E13OverloadOffset))
+		base, stop, err := bench.E13StartServer(eng, 8, 8, 25*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer stop()
+		var ok, shed, errs int
+		var p99 time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cell := bench.E13Load(base, 64, 1, map[string][]string{
+				"query":  {bench.E13OverloadQueryText},
+				"offset": {fmt.Sprint(bench.E13OverloadOffset)},
+			}, want)
+			if !cell.Agree || cell.Errors > 0 {
+				b.Fatalf("overload cell disagrees: %+v", cell)
+			}
+			ok += cell.OK
+			shed += cell.Shed
+			if p := cell.Percentile(0.99); p > p99 {
+				p99 = p
+			}
+		}
+		b.StopTimer()
+		if shed == 0 {
+			b.Fatal("overload cell shed nothing: admission never engaged")
+		}
+		b.ReportMetric(float64(shed)/float64(ok+shed+errs)*100, "shed%")
+		b.ReportMetric(float64(p99.Milliseconds()), "p99_ms")
+	})
 }

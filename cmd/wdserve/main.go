@@ -1,0 +1,139 @@
+// Command wdserve is the hardened streaming SPARQL-over-HTTP endpoint:
+// it loads an RDF graph, builds a prepared-query engine over it, and
+// serves the SPARQL protocol on /sparql with chunked SPARQL-JSON or
+// TSV results streamed straight off the enumeration. Structural
+// robustness comes from internal/server: admission control with load
+// shedding (503 + Retry-After), per-request deadlines/limits enforced
+// through the request context, write-deadline handling for stalled
+// clients, per-request panic isolation, and graceful drain on
+// SIGINT/SIGTERM (a second signal force-exits).
+//
+// Usage:
+//
+//	wdserve -data graph.nt [-addr :8080] [flags]
+//
+// Operational endpoints: /healthz (liveness), /readyz (flips to 503
+// while draining), /stats (serving counters as JSON).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"wdsparql"
+	"wdsparql/internal/interrupt"
+	"wdsparql/internal/rdf"
+	"wdsparql/internal/server"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "RDF graph file (N-Triples subset); '-' for stdin")
+		addr     = flag.String("addr", ":8080", "listen address")
+
+		algo    = flag.String("algo", "naive", "evaluation algorithm: naive | pebble")
+		k       = flag.Int("k", 1, "domination-width bound for -algo pebble")
+		workers = flag.Int("workers", 1, "default enumeration worker-pool size")
+		shards  = flag.Int("shards", 1, "storage shard count (≥ 2 shards the graph by subject hash)")
+		qcache  = flag.Int("query-cache", 128, "prepared-query LRU capacity (0 disables)")
+
+		gate         = flag.Int("gate", 8, "queries executing concurrently")
+		queue        = flag.Int("queue", 0, "bounded wait queue beyond the gate (0: same as -gate)")
+		queueTimeout = flag.Duration("queue-timeout", time.Second, "max wait in the queue before shedding")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request deadline when none is given")
+		maxTimeout   = flag.Duration("max-timeout", 5*time.Minute, "cap on the ?timeout= parameter")
+		maxLimit     = flag.Int("max-limit", 0, "cap on rows per request (0: unlimited)")
+		writeTimeout = flag.Duration("write-timeout", 15*time.Second, "write deadline armed at every flush")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown grace before hard-cancel")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "wdserve: ", log.LstdFlags)
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "wdserve: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := readGraph(*dataPath)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	alg := wdsparql.AlgNaive
+	if *algo == "pebble" {
+		alg = wdsparql.AlgPebble
+	}
+	eng := wdsparql.NewEngine(g,
+		wdsparql.WithAlgorithm(alg), wdsparql.WithPebbleK(*k),
+		wdsparql.WithWorkers(*workers), wdsparql.WithShards(*shards),
+		wdsparql.WithQueryCache(*qcache))
+
+	srv := server.New(server.Config{
+		Engine:         eng,
+		MaxConcurrent:  *gate,
+		MaxQueue:       *queue,
+		QueueTimeout:   *queueTimeout,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxLimit:       *maxLimit,
+		MaxWorkers:     max(*workers, 1),
+		WriteTimeout:   *writeTimeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	backend := "map"
+	switch {
+	case g.Sharded():
+		backend = fmt.Sprintf("sharded (%d shards)", g.ShardCount())
+	case g.Frozen():
+		backend = "frozen"
+	}
+	logger.Printf("serving %d triples (%s backend) on http://%s/sparql (gate %d)",
+		g.Len(), backend, ln.Addr(), *gate)
+
+	// First SIGINT/SIGTERM starts the drain; a second force-exits.
+	ctx, stop := interrupt.Context(context.Background())
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		logger.Fatal(err) // listener failed before any shutdown request
+	case <-ctx.Done():
+	}
+
+	logger.Printf("draining (up to %s; interrupt again to force exit)", *drain)
+	sctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		logger.Printf("drain deadline exceeded: in-flight streams hard-cancelled (%v)", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+	logger.Print("shut down cleanly")
+}
+
+func readGraph(path string) (*rdf.Graph, error) {
+	if path == "-" {
+		return rdf.ReadGraph(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return rdf.ReadGraph(f)
+}

@@ -21,11 +21,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
 
 	"wdsparql"
 	"wdsparql/internal/core"
+	"wdsparql/internal/interrupt"
 	"wdsparql/internal/rdf"
 	"wdsparql/internal/sparql"
 )
@@ -49,10 +49,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Interrupts cancel the context; the prepared-query streams stop at
-	// their next yield boundary and the command exits cleanly.
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer cancel()
+	// The first interrupt cancels the context — the prepared-query
+	// streams stop at their next yield boundary and the command exits
+	// cleanly. A second interrupt (enumeration wedged, output blocked)
+	// force-exits immediately.
+	ctx, stop := interrupt.Context(context.Background())
+	defer stop()
 
 	pattern, err := sparql.Parse(*query)
 	if err != nil {

@@ -24,7 +24,6 @@ import (
 	"fmt"
 	"iter"
 	"sync"
-	"sync/atomic"
 
 	"wdsparql/internal/core"
 	"wdsparql/internal/ptree"
@@ -58,6 +57,9 @@ type Engine struct {
 	pebbleK int
 	workers int
 	shards  int
+
+	qcacheCap int
+	qcache    *lruCache[*PreparedQuery] // nil when WithQueryCache is off
 }
 
 // Option configures an Engine.
@@ -77,6 +79,14 @@ func WithPebbleK(k int) Option { return func(e *Engine) { e.pebbleK = k } }
 // per-call Parallel ExecOption overrides it. The default is 1
 // (sequential).
 func WithWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
+
+// WithQueryCache equips the engine with an LRU cache of up to n
+// prepared queries keyed by the exact query text — the seam
+// PrepareText (and the HTTP endpoint riding it) uses so a repeated
+// query skips parsing, static analysis and compilation entirely. Hot
+// queries stay resident; one-off queries age out. n ≤ 0 disables the
+// cache (the default).
+func WithQueryCache(n int) Option { return func(e *Engine) { e.qcacheCap = n } }
 
 // WithShards seals the engine's graph into the sharded storage backend
 // with n shards (rdf.Graph.Shard) instead of the single-arena frozen
@@ -107,6 +117,7 @@ func NewEngine(g *Graph, opts ...Option) *Engine {
 	for _, o := range opts {
 		o(e)
 	}
+	e.qcache = newLRUCache[*PreparedQuery](e.qcacheCap)
 	if e.shards > 1 {
 		g.Shard(e.shards)
 	} else if !g.Sharded() {
@@ -137,6 +148,34 @@ func (e *Engine) Prepare(p Pattern) (*PreparedQuery, error) {
 	}
 	return &PreparedQuery{eng: e, an: an, prog: core.CompileForest(an.forest, e.g)}, nil
 }
+
+// PrepareText parses src as a graph pattern and prepares it,
+// memoised in the engine's query cache (WithQueryCache) under the
+// exact query text. On a hit the prepared query is returned without
+// touching the parser; on a miss the query is parsed, analysed,
+// compiled and cached. Errors — parse failures as well as
+// non-well-designed patterns — are never cached, so a malformed
+// request cannot occupy (or poison) a cache slot. Without
+// WithQueryCache, PrepareText is plain parse-then-Prepare.
+func (e *Engine) PrepareText(src string) (*PreparedQuery, error) {
+	if q, ok := e.qcache.get(src); ok {
+		return q, nil
+	}
+	p, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	q, err := e.Prepare(p)
+	if err != nil {
+		return nil, err
+	}
+	return e.qcache.add(src, q), nil
+}
+
+// QueryCacheStats reports the hit/miss counters and occupancy of the
+// engine's PrepareText cache; all-zero when WithQueryCache is not
+// configured.
+func (e *Engine) QueryCacheStats() CacheStats { return e.qcache.cacheStats() }
 
 // MustPrepare is Prepare panicking on error.
 func (e *Engine) MustPrepare(p Pattern) *PreparedQuery {
@@ -188,13 +227,10 @@ type analysis struct {
 }
 
 // analysisCache memoises static analyses across legacy-shim calls and
-// engines, keyed by the pattern's canonical text. Bounded: once full,
-// new patterns are analysed without being cached (no eviction scans on
-// the hot path).
-var (
-	analysisCache    sync.Map // string → *analysis
-	analysisCacheLen atomic.Int64
-)
+// engines, keyed by the pattern's canonical text. An LRU: hot patterns
+// stay resident across any workload length, cold ones age out instead
+// of permanently occupying the bound.
+var analysisCache = newLRUCache[*analysis](analysisCacheMax)
 
 const analysisCacheMax = 256
 
@@ -205,24 +241,17 @@ const analysisCacheMax = 256
 // back to back.
 func analyze(p Pattern) (*analysis, error) {
 	key := sparql.Format(p)
-	if v, ok := analysisCache.Load(key); ok {
-		return v.(*analysis), nil
+	if an, ok := analysisCache.get(key); ok {
+		return an, nil
 	}
 	f, err := ptree.WDPF(p)
 	if err != nil {
 		return nil, err
 	}
-	an := &analysis{pattern: p, forest: f}
-	if analysisCacheLen.Load() < analysisCacheMax {
-		if v, loaded := analysisCache.LoadOrStore(key, an); loaded {
-			// A concurrent first analysis won the store: adopt it, so
-			// the pattern keeps a single analysis (and its exponential
-			// width computations run at most once).
-			return v.(*analysis), nil
-		}
-		analysisCacheLen.Add(1)
-	}
-	return an, nil
+	// add returns the first stored analysis when a concurrent first
+	// analysis won the race: every caller adopts one shared analysis,
+	// so its exponential width computations run at most once.
+	return analysisCache.add(key, &analysis{pattern: p, forest: f}), nil
 }
 
 // The lazily-cached static measures live here, on the shared analysis,

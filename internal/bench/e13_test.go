@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"testing"
+	"time"
+
+	"wdsparql"
+	"wdsparql/internal/rdf"
+)
+
+func e13Engine(t *testing.T, n int) *wdsparql.Engine {
+	t.Helper()
+	return wdsparql.NewEngine(rdf.GraphFromTriples(E9Data(n).Triples()),
+		wdsparql.WithQueryCache(16))
+}
+
+func e13OverloadRows(t *testing.T, eng *wdsparql.Engine) int {
+	t.Helper()
+	q, err := eng.PrepareText(E13OverloadQueryText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := q.Count(context.Background(),
+		wdsparql.Limit(E13RowLimit), wdsparql.Offset(E13OverloadOffset))
+	if err != nil || n == 0 {
+		t.Fatalf("empty overload workload: %d, %v", n, err)
+	}
+	return n
+}
+
+// TestE13OverloadSheds pins the premise of E13's overload column: the
+// overload workload's service time is long enough (well past the Go
+// scheduler's preemption quantum — see E13OverloadQueryText) that a
+// 64-client herd against a gate of 8 genuinely saturates the gate and
+// fills the bounded queue, so a measurable tail is shed with 503
+// while every served response still decodes to the full page. If a
+// data or solver change makes the workload cheap again, requests
+// serialize, nothing sheds, and the experiment silently stops
+// demonstrating admission control — this test fails instead.
+func TestE13OverloadSheds(t *testing.T) {
+	eng := e13Engine(t, 128)
+	base, stop, err := E13StartServer(eng, 8, 8, 25*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	cell := E13Load(base, 64, 1, url.Values{
+		"query":  {E13OverloadQueryText},
+		"offset": {fmt.Sprint(E13OverloadOffset)},
+	}, e13OverloadRows(t, eng))
+	if cell.Errors > 0 || !cell.Agree {
+		t.Fatalf("overload cell has errors or wrong streams: %+v", cell)
+	}
+	if cell.Shed == 0 {
+		t.Fatalf("overload cell shed nothing (ok=%d): admission never engaged", cell.OK)
+	}
+	if cell.OK == 0 {
+		t.Fatal("overload cell served nothing: gate never admitted")
+	}
+	t.Logf("ok=%d shed=%d p50=%v p99=%v", cell.OK, cell.Shed,
+		cell.Percentile(0.5), cell.Percentile(0.99))
+}

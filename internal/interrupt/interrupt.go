@@ -1,0 +1,44 @@
+// Package interrupt provides the two-stage signal handling shared by
+// the commands. The first SIGINT/SIGTERM cancels the returned context,
+// giving the program its graceful path: streams stop at the next yield
+// boundary, servers drain. A second signal means the operator is done
+// waiting — the process exits immediately with the conventional
+// 128+SIGINT status.
+package interrupt
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// Context returns a child of parent that is cancelled on the first
+// SIGINT or SIGTERM. A second signal force-exits the process with
+// status 130. The returned stop function releases the signal handler
+// (after which signals get their default disposition again) and
+// cancels the context.
+func Context(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	stop := func() {
+		signal.Stop(ch)
+		cancel()
+	}
+	go func() {
+		select {
+		case <-ch:
+			cancel()
+		case <-ctx.Done():
+			// The program finished (or stop ran) before any signal;
+			// nothing to watch anymore.
+			return
+		}
+		<-ch
+		fmt.Fprintln(os.Stderr, "second interrupt: exiting immediately")
+		os.Exit(130)
+	}()
+	return ctx, stop
+}

@@ -1,0 +1,43 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadGraph pins the hardening contract of the N-Triples reader:
+// arbitrary input yields a graph or an error, never a panic — and an
+// accepted graph is internally consistent (every triple it reports
+// holding is found by Contains).
+func FuzzReadGraph(f *testing.F) {
+	f.Add("a p b .\n")
+	f.Add("a p b .\nb p c .")
+	f.Add("# comment\n\na p b .\r\n")
+	f.Add("bad triple\n")
+	f.Add("a p .\n")
+	f.Add("a p b c .\n")
+	f.Add(strings.Repeat("x", 4097) + " p b .\n")
+	f.Add("\x00\xff\xfe p b .\n")
+	f.Add("a p \"literal with spaces\" .\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		// A small cap exercises the long-line path; the default cap is
+		// the same code with a bigger bound.
+		g, err := ReadGraphMaxLine(strings.NewReader(src), 4096)
+		if err != nil {
+			if g != nil {
+				t.Fatal("ReadGraphMaxLine returned both a graph and an error")
+			}
+			return
+		}
+		n := 0
+		for _, tr := range g.Triples() {
+			if !g.Contains(tr) {
+				t.Fatalf("graph does not contain its own triple %v", tr)
+			}
+			n++
+		}
+		if n != g.Len() {
+			t.Fatalf("Triples() yielded %d, Len() = %d", n, g.Len())
+		}
+	})
+}

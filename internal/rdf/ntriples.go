@@ -13,41 +13,96 @@ import (
 // comments, and optional angle brackets around IRIs. Variables are not
 // permitted in data files (graphs are ground).
 
+// MaxLineLen is the default bound on a single input line of ReadGraph.
+// It exists so a malformed (or hostile) input cannot make the reader
+// buffer an unbounded line; lines beyond the bound fail with an error
+// naming the offending line. ReadGraphMaxLine configures it per call.
+const MaxLineLen = 16 << 20 // 16 MiB
+
 // ReadGraph parses a graph from r. It returns the first syntax error
-// encountered, annotated with a line number. The graph is bulk-loaded
-// through a GraphBuilder and returned frozen (see Graph.Freeze): cold
-// load is one interning pass plus one compaction, and the result is
-// immediately ready for concurrent readers. Mutating it thaws it.
+// encountered, annotated with a line number — including lines longer
+// than MaxLineLen. The graph is bulk-loaded through a GraphBuilder and
+// returned frozen (see Graph.Freeze): cold load is one interning pass
+// plus one compaction, and the result is immediately ready for
+// concurrent readers. Mutating it thaws it.
 func ReadGraph(r io.Reader) (*Graph, error) {
-	b := NewGraphBuilder(0)
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		line = strings.TrimSuffix(line, ".")
-		fields := strings.Fields(line)
-		if len(fields) != 3 {
-			return nil, fmt.Errorf("rdf: line %d: expected 3 terms, got %d", lineNo, len(fields))
-		}
-		var terms [3]Term
-		for i, f := range fields {
-			t, err := parseDataTerm(f)
-			if err != nil {
-				return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
-			}
-			terms[i] = t
-		}
-		b.AddTriple(terms[0].Value, terms[1].Value, terms[2].Value)
+	return ReadGraphMaxLine(r, MaxLineLen)
+}
+
+// ReadGraphMaxLine is ReadGraph with an explicit bound on the length
+// of a single input line (maxLine ≤ 0 means MaxLineLen). The bound is
+// a robustness guard, not a format limit: any line up to the bound is
+// parsed whole, however large.
+func ReadGraphMaxLine(r io.Reader, maxLine int) (*Graph, error) {
+	if maxLine <= 0 {
+		maxLine = MaxLineLen
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("rdf: read: %w", err)
+	b := NewGraphBuilder(0)
+	br := bufio.NewReaderSize(r, 64*1024)
+	lineNo := 0
+	for {
+		line, err := readLine(br, maxLine)
+		if err == errLineTooLong {
+			return nil, fmt.Errorf("rdf: line %d: line exceeds %d bytes", lineNo+1, maxLine)
+		}
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("rdf: read: %w", err)
+		}
+		if len(line) == 0 && err == io.EOF {
+			break
+		}
+		lineNo++
+		line = strings.TrimSpace(line)
+		if line != "" && !strings.HasPrefix(line, "#") {
+			line = strings.TrimSuffix(line, ".")
+			fields := strings.Fields(line)
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("rdf: line %d: expected 3 terms, got %d", lineNo, len(fields))
+			}
+			var terms [3]Term
+			for i, f := range fields {
+				t, err := parseDataTerm(f)
+				if err != nil {
+					return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
+				}
+				terms[i] = t
+			}
+			b.AddTriple(terms[0].Value, terms[1].Value, terms[2].Value)
+		}
+		if err == io.EOF {
+			break
+		}
 	}
 	return b.Graph(), nil
+}
+
+// errLineTooLong is readLine's sentinel for a line beyond the bound;
+// ReadGraphMaxLine converts it into an error carrying the line number.
+var errLineTooLong = fmt.Errorf("line too long")
+
+// readLine reads one \n-terminated line (the terminator is stripped)
+// of at most maxLine bytes. It returns io.EOF together with the final
+// unterminated line, if any, and errLineTooLong as soon as the line is
+// known to exceed the bound — without buffering the rest of it.
+func readLine(br *bufio.Reader, maxLine int) (string, error) {
+	var buf []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		if len(buf)+len(frag) > maxLine+1 { // +1: the \n itself is not counted
+			return "", errLineTooLong
+		}
+		if err == nil || err == io.EOF {
+			if buf == nil {
+				return strings.TrimSuffix(string(frag), "\n"), err
+			}
+			buf = append(buf, frag...)
+			return strings.TrimSuffix(string(buf), "\n"), err
+		}
+		if err != bufio.ErrBufferFull {
+			return "", err
+		}
+		buf = append(buf, frag...)
+	}
 }
 
 // ParseGraph parses a graph from a string.

@@ -1,0 +1,79 @@
+package rdf
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Regression tests for the ReadGraph line handling: the reader used to
+// cap lines at a fixed 1 MiB scanner buffer and surface an overlong
+// line as a bare "rdf: read: token too long" with no line number.
+
+// TestReadGraphLongLine pins that a line far beyond the old 1 MiB
+// scanner cap parses fine under the default bound.
+func TestReadGraphLongLine(t *testing.T) {
+	long := strings.Repeat("x", 2<<20) // 2 MiB IRI, over the old cap
+	src := fmt.Sprintf("a p b .\n%s p c .\nd p e .", long)
+	g, err := ReadGraph(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadGraph: %v", err)
+	}
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", g.Len())
+	}
+	if !g.Contains(T(IRI(long), IRI("p"), IRI("c"))) {
+		t.Fatal("long-IRI triple missing")
+	}
+}
+
+// TestReadGraphMaxLineExceeded pins the error shape for a line beyond
+// the configured bound: it must name the offending line and the bound,
+// and must not depend on how much of the line was buffered.
+func TestReadGraphMaxLineExceeded(t *testing.T) {
+	long := strings.Repeat("y", 4096)
+	src := fmt.Sprintf("a p b .\nc p d .\n%s p e .\nf p g .", long)
+	_, err := ReadGraphMaxLine(strings.NewReader(src), 1024)
+	if err == nil {
+		t.Fatal("ReadGraphMaxLine accepted an overlong line")
+	}
+	for _, want := range []string{"line 3", "1024"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestReadGraphMaxLineBoundary pins that the bound counts the line
+// content without its terminator: a line of exactly maxLine bytes
+// parses, one byte more fails.
+func TestReadGraphMaxLineBoundary(t *testing.T) {
+	line := "aaaa p b ." // 10 bytes
+	g, err := ReadGraphMaxLine(strings.NewReader(line+"\n"), len(line))
+	if err != nil || g.Len() != 1 {
+		t.Fatalf("exact-bound line rejected: %v", err)
+	}
+	if _, err := ReadGraphMaxLine(strings.NewReader(line+"\n"), len(line)-1); err == nil {
+		t.Fatal("over-bound line accepted")
+	}
+}
+
+// TestReadGraphNoTrailingNewline pins that the final unterminated line
+// is still parsed.
+func TestReadGraphNoTrailingNewline(t *testing.T) {
+	g, err := ReadGraph(strings.NewReader("a p b .\nc p d ."))
+	if err != nil || g.Len() != 2 {
+		t.Fatalf("got %v, err %v; want 2 triples", g, err)
+	}
+}
+
+// TestReadGraphLineNumbersAfterLongLines pins that syntax errors after
+// a multi-fragment line still carry the right line number.
+func TestReadGraphLineNumbersAfterLongLines(t *testing.T) {
+	long := strings.Repeat("z", 256<<10)
+	src := fmt.Sprintf("%s p c .\n\n# comment\nbad triple", long)
+	_, err := ReadGraph(strings.NewReader(src))
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error %v does not name line 4", err)
+	}
+}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"context"
+)
+
+// errShed is returned by admission.acquire when the request cannot be
+// admitted within the configured bounds: the gate is full, the wait
+// queue is at capacity, or the queue wait timed out. The handler
+// converts it into 503 + Retry-After — the endpoint sheds load
+// instead of queuing unboundedly.
+var errShed = errors.New("server: overloaded, request shed")
+
+// admission is the controller that keeps the endpoint standing under
+// overload. A semaphore of width gate bounds the queries executing
+// concurrently; a bounded counter-guarded wait queue absorbs short
+// bursts. Anything beyond gate+queue, and anything that has waited
+// longer than the queue timeout, is shed immediately: under sustained
+// overload the endpoint's concurrency — and therefore the p99 of the
+// requests it does accept — stays bounded, and the shed tail gets a
+// fast, honest 503 instead of a slow timeout.
+type admission struct {
+	gate       chan struct{} // buffered; len = executing queries
+	queued     atomic.Int64
+	peakQueued atomic.Int64
+	maxQueue   int64
+	timeout    time.Duration
+}
+
+func newAdmission(gate, queue int, timeout time.Duration) *admission {
+	return &admission{
+		gate:     make(chan struct{}, gate),
+		maxQueue: int64(queue),
+		timeout:  timeout,
+	}
+}
+
+// acquire admits the request or fails fast: errShed when the request
+// must be shed, the context error when the client went away while
+// queued. On nil return the caller owns one gate slot and must call
+// release exactly once.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.gate <- struct{}{}:
+		return nil
+	default:
+	}
+	n := a.queued.Add(1)
+	if n > a.maxQueue {
+		a.queued.Add(-1)
+		return errShed
+	}
+	for {
+		peak := a.peakQueued.Load()
+		if n <= peak || a.peakQueued.CompareAndSwap(peak, n) {
+			break
+		}
+	}
+	defer a.queued.Add(-1)
+	timer := time.NewTimer(a.timeout)
+	defer timer.Stop()
+	select {
+	case a.gate <- struct{}{}:
+		return nil
+	case <-timer.C:
+		return errShed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.gate }
+
+// executing returns the number of currently admitted queries.
+func (a *admission) executing() int { return len(a.gate) }
+
+// waiting returns the number of requests in the wait queue.
+func (a *admission) waiting() int64 { return a.queued.Load() }
+
+// peakWaiting returns the high-water mark of the wait queue.
+func (a *admission) peakWaiting() int64 { return a.peakQueued.Load() }

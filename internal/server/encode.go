@@ -1,0 +1,178 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"strconv"
+
+	"wdsparql"
+	"wdsparql/internal/rdf"
+)
+
+// Result encoders: each serialises one solution stream incrementally —
+// a prologue carrying the variable names, one fragment per row straight
+// off the zero-decode Rows iterator, and an epilogue that closes the
+// document so that even a truncated stream (deadline, client gone,
+// drain) is syntactically valid output. Encoders write into the
+// handler's bufio.Writer; the handler owns flushing (and the write
+// deadlines armed around it).
+
+// resultEncoder is one streamed serialisation of a solution stream.
+type resultEncoder interface {
+	contentType() string
+	// begin writes the prologue (the head/vars of the result set). The
+	// handler flushes right after it, putting the first response bytes
+	// on the wire before the enumeration has produced a single row.
+	begin() error
+	// row appends one solution. The row aliases the enumeration's
+	// working row and is only valid during the call.
+	row(r wdsparql.Row) error
+	// end closes the document. truncated marks a stream stopped by a
+	// deadline or cancellation rather than exhaustion; encoders that
+	// can carry the flag in-band do so.
+	end(truncated bool) error
+}
+
+const (
+	formatJSON = "json"
+	formatTSV  = "tsv"
+
+	contentTypeJSON = "application/sparql-results+json"
+	contentTypeTSV  = "text/tab-separated-values; charset=utf-8"
+)
+
+func newEncoder(format string, w *bufio.Writer, layout *wdsparql.SlotLayout, dict *rdf.Dict) resultEncoder {
+	if format == formatTSV {
+		return &tsvEncoder{w: w, layout: layout, dict: dict}
+	}
+	return &jsonEncoder{w: w, layout: layout, dict: dict}
+}
+
+// jsonEncoder streams the SPARQL 1.1 Query Results JSON format:
+//
+//	{"head":{"vars":[…]},"results":{"bindings":[…]},"truncated":true?}
+//
+// The non-standard top-level "truncated" member appears only on
+// streams cut short; the document is always complete, valid JSON.
+type jsonEncoder struct {
+	w      *bufio.Writer
+	layout *wdsparql.SlotLayout
+	dict   *rdf.Dict
+	n      int
+}
+
+func (e *jsonEncoder) contentType() string { return contentTypeJSON }
+
+func (e *jsonEncoder) begin() error {
+	e.w.WriteString(`{"head":{"vars":[`)
+	for s := 0; s < e.layout.Width(); s++ {
+		if s > 0 {
+			e.w.WriteByte(',')
+		}
+		writeJSONString(e.w, e.layout.Name(s))
+	}
+	_, err := e.w.WriteString(`]},"results":{"bindings":[`)
+	return err
+}
+
+func (e *jsonEncoder) row(r wdsparql.Row) error {
+	if e.n > 0 {
+		e.w.WriteByte(',')
+	}
+	e.n++
+	e.w.WriteByte('{')
+	first := true
+	for s, v := range r {
+		if v == wdsparql.Unbound {
+			continue
+		}
+		if !first {
+			e.w.WriteByte(',')
+		}
+		first = false
+		writeJSONString(e.w, e.layout.Name(s))
+		e.w.WriteString(`:{"type":"uri","value":`)
+		writeJSONString(e.w, e.dict.StringOf(v))
+		e.w.WriteByte('}')
+	}
+	_, err := e.w.WriteString("}")
+	return err
+}
+
+func (e *jsonEncoder) end(truncated bool) error {
+	e.w.WriteString(`]}`)
+	if truncated {
+		e.w.WriteString(`,"truncated":true`)
+	}
+	_, err := e.w.WriteString("}\n")
+	return err
+}
+
+// tsvEncoder streams the SPARQL 1.1 TSV results format: a header line
+// of ?-prefixed variable names, then one line per solution with IRIs
+// in angle brackets and unbound positions empty.
+type tsvEncoder struct {
+	w      *bufio.Writer
+	layout *wdsparql.SlotLayout
+	dict   *rdf.Dict
+}
+
+func (e *tsvEncoder) contentType() string { return contentTypeTSV }
+
+func (e *tsvEncoder) begin() error {
+	for s := 0; s < e.layout.Width(); s++ {
+		if s > 0 {
+			e.w.WriteByte('\t')
+		}
+		e.w.WriteByte('?')
+		e.w.WriteString(e.layout.Name(s))
+	}
+	return e.w.WriteByte('\n')
+}
+
+func (e *tsvEncoder) row(r wdsparql.Row) error {
+	for s, v := range r {
+		if s > 0 {
+			e.w.WriteByte('\t')
+		}
+		if v != wdsparql.Unbound {
+			e.w.WriteByte('<')
+			e.w.WriteString(e.dict.StringOf(v))
+			e.w.WriteByte('>')
+		}
+	}
+	return e.w.WriteByte('\n')
+}
+
+func (e *tsvEncoder) end(bool) error {
+	// TSV carries no in-band structure to close: a truncated stream is
+	// simply a shorter, still-valid document.
+	return nil
+}
+
+// writeJSONString writes s as a JSON string literal. Plain ASCII — the
+// shape of virtually every IRI and variable name — is written directly;
+// anything needing escapes falls back to encoding/json.
+func writeJSONString(w *bufio.Writer, s string) {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= 0x80 {
+			b, _ := json.Marshal(s)
+			w.Write(b)
+			return
+		}
+	}
+	w.WriteByte('"')
+	w.WriteString(s)
+	w.WriteByte('"')
+}
+
+// jsonErrorBody renders a one-field JSON error document.
+func jsonErrorBody(msg string) []byte {
+	b, err := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	if err != nil {
+		return []byte(`{"error":` + strconv.Quote("encoding failure") + `}`)
+	}
+	return append(b, '\n')
+}

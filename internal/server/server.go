@@ -1,0 +1,325 @@
+// Package server implements the hardened streaming SPARQL-over-HTTP
+// endpoint behind cmd/wdserve. The /sparql resource speaks the SPARQL
+// protocol (GET and POST) and streams SPARQL-JSON or TSV results
+// straight off the zero-decode PreparedQuery.Rows iterator — the first
+// response bytes are on the wire before the enumeration has produced a
+// row. Robustness is structural, not bolted on:
+//
+//   - Admission control: a semaphore gate bounds concurrently executing
+//     queries and a bounded wait queue absorbs bursts; everything beyond
+//     is shed with 503 + Retry-After, so overload keeps the served p99
+//     bounded instead of queuing unboundedly.
+//   - Per-request deadline, row limit and offset are parsed from the
+//     request and enforced through http.Request.Context() — the stream
+//     stops at the next yield boundary and the response is closed as a
+//     valid (truncated) document.
+//   - Write-deadline handling: every flush arms a write deadline, so a
+//     stalled client surfaces as a write error that cancels its
+//     enumeration instead of pinning a gate slot forever.
+//   - Per-request panic isolation: a panicking evaluation becomes a 500
+//     (or an aborted stream) plus a counter, never a crashed process.
+//   - Graceful drain: Shutdown flips /readyz, stops accepting, drains
+//     in-flight requests up to the caller's deadline, then hard-cancels
+//     the rest through the server's base context. No goroutine leaks.
+//
+// /healthz, /readyz and /stats expose liveness, drain state and the
+// serving counters (cache hit rate, in-flight, shed count, rows
+// streamed, backend shape). See DESIGN.md §5 for the full lifecycle.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wdsparql"
+	"wdsparql/internal/rdf"
+)
+
+// Config parameterises a Server. Engine is required; every other field
+// has a serving-safe default (see the constants below).
+type Config struct {
+	Engine *wdsparql.Engine
+
+	// Admission control.
+	MaxConcurrent int           // gate width: queries executing at once (default 8)
+	MaxQueue      int           // bounded wait queue beyond the gate (default = MaxConcurrent)
+	QueueTimeout  time.Duration // max wait in the queue before shedding (default 1s)
+	RetryAfter    time.Duration // Retry-After hint on 503 responses (default 1s)
+
+	// Per-request execution bounds.
+	DefaultTimeout time.Duration // deadline when the request names none (default 30s)
+	MaxTimeout     time.Duration // cap on the ?timeout= parameter (default 5m)
+	MaxLimit       int           // cap on rows per request; 0 means unlimited
+	MaxWorkers     int           // cap on the ?workers= parameter (default GOMAXPROCS)
+
+	// Streaming.
+	WriteTimeout time.Duration // write deadline armed at every flush (default 15s)
+	FlushEvery   int           // rows between flushes after the prologue (default 256)
+
+	// Request reading.
+	MaxQueryBytes int64 // bound on a POSTed query body (default 1 MiB)
+}
+
+const (
+	defaultMaxConcurrent  = 8
+	defaultQueueTimeout   = time.Second
+	defaultRetryAfter     = time.Second
+	defaultRequestTimeout = 30 * time.Second
+	defaultMaxTimeout     = 5 * time.Minute
+	defaultWriteTimeout   = 15 * time.Second
+	defaultFlushEvery     = 256
+	defaultMaxQueryBytes  = 1 << 20
+)
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = defaultMaxConcurrent
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = cfg.MaxConcurrent
+	}
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = defaultQueueTimeout
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = defaultRetryAfter
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = defaultRequestTimeout
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = defaultMaxTimeout
+	}
+	if cfg.MaxWorkers <= 0 {
+		cfg.MaxWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = defaultWriteTimeout
+	}
+	if cfg.FlushEvery <= 0 {
+		cfg.FlushEvery = defaultFlushEvery
+	}
+	if cfg.MaxQueryBytes <= 0 {
+		cfg.MaxQueryBytes = defaultMaxQueryBytes
+	}
+	return cfg
+}
+
+// Server is the endpoint: an http.Handler plus the serve/drain
+// lifecycle around it. Construct with New; a Server must not be copied.
+type Server struct {
+	cfg Config
+	eng *wdsparql.Engine
+	adm *admission
+	mux *http.ServeMux
+
+	http       *http.Server
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	draining atomic.Bool
+	inflight sync.WaitGroup // running /sparql handlers
+	started  time.Time
+
+	// Serving counters, exposed by /stats.
+	queries      atomic.Uint64 // admitted query executions
+	rowsStreamed atomic.Uint64
+	shed         atomic.Uint64 // 503s: overload or drain
+	rejected     atomic.Uint64 // 4xx: malformed or not well-designed
+	panics       atomic.Uint64 // recovered evaluation panics
+	timeouts     atomic.Uint64 // request deadlines expired mid-stream
+	writeStalls  atomic.Uint64 // streams cut by write deadline/client loss
+	inFlight     atomic.Int64
+	peakInFlight atomic.Int64
+
+	// hookBeforeStream, when set, runs inside the per-request panic
+	// guard just before streaming starts — the test seam for panic
+	// isolation and latency injection. Never set in production.
+	hookBeforeStream func(query string)
+}
+
+// New builds a Server over the engine in cfg. The engine's graph is
+// already sealed (NewEngine freezes or shards it); the server only
+// reads it, so any number of concurrent requests are safe.
+func New(cfg Config) *Server {
+	if cfg.Engine == nil {
+		panic("server: Config.Engine is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		eng:     cfg.Engine,
+		adm:     newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("/sparql", s.handleSparql)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.http = &http.Server{
+		Handler: s.mux,
+		// Request contexts derive from the base context, which is the
+		// hard-cancel lever of Shutdown: cancelling it stops every
+		// in-flight enumeration at its next yield boundary.
+		BaseContext:       func(net.Listener) context.Context { return s.baseCtx },
+		ReadHeaderTimeout: 10 * time.Second,
+		// No server-wide WriteTimeout: long streams are legitimate.
+		// Stalled clients are handled by the per-flush write deadline.
+	}
+	return s
+}
+
+// Handler returns the endpoint as a plain http.Handler, for embedding
+// and for httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown (or Close). Like
+// http.Server.Serve it returns http.ErrServerClosed on clean shutdown.
+func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains the server: /readyz flips to 503 immediately (so
+// load balancers stop routing here), listeners close, and in-flight
+// requests run to completion — until ctx's deadline. If the deadline
+// expires first, every remaining request is hard-cancelled through the
+// base context; their streams stop at the next yield boundary and
+// their responses are closed as valid truncated documents. Shutdown
+// returns only once no request handler is running: nil after a clean
+// drain, the ctx error after a hard-cancel.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.http.Shutdown(ctx)
+	// Hard-cancel whatever is still running (a no-op after a clean
+	// drain) and wait for the handlers themselves: http.Server.Shutdown
+	// tracks connections, not handler returns.
+	s.baseCancel()
+	s.inflight.Wait()
+	if err != nil {
+		// The drain deadline expired: force-close the connections the
+		// cancelled handlers were writing to.
+		if closeErr := s.http.Close(); closeErr != nil && err == context.DeadlineExceeded {
+			return closeErr
+		}
+	}
+	return err
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: 200 while accepting work, 503 during
+// drain so orchestrators stop routing new requests here while
+// in-flight streams finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+}
+
+// Stats is the /stats document: serving counters, admission state and
+// the shape of the data being served.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+
+	Backend string `json:"backend"`
+	Shards  int    `json:"shards"`
+	Triples int    `json:"triples"`
+
+	Gate         int   `json:"gate"`
+	QueueCap     int   `json:"queue_cap"`
+	InFlight     int64 `json:"in_flight"`
+	PeakInFlight int64 `json:"peak_in_flight"`
+	Queued       int64 `json:"queued"`
+	PeakQueued   int64 `json:"peak_queued"`
+
+	Queries      uint64 `json:"queries"`
+	RowsStreamed uint64 `json:"rows_streamed"`
+	Shed         uint64 `json:"shed"`
+	Rejected     uint64 `json:"rejected"`
+	Panics       uint64 `json:"panics"`
+	Timeouts     uint64 `json:"timeouts"`
+	WriteStalls  uint64 `json:"write_stalls"`
+
+	QueryCache wdsparql.CacheStats `json:"query_cache"`
+}
+
+// snapshot assembles the current Stats.
+func (s *Server) snapshot() Stats {
+	g := s.eng.Graph()
+	backend := "map"
+	switch {
+	case g.Sharded():
+		backend = "sharded"
+	case g.Frozen():
+		backend = "frozen"
+	}
+	shards := 0
+	if g.Sharded() {
+		shards = g.ShardCount()
+	}
+	return Stats{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Draining:      s.draining.Load(),
+		Backend:       backend,
+		Shards:        shards,
+		Triples:       g.Len(),
+		Gate:          s.cfg.MaxConcurrent,
+		QueueCap:      s.cfg.MaxQueue,
+		InFlight:      s.inFlight.Load(),
+		PeakInFlight:  s.peakInFlight.Load(),
+		Queued:        s.adm.waiting(),
+		PeakQueued:    s.adm.peakWaiting(),
+		Queries:       s.queries.Load(),
+		RowsStreamed:  s.rowsStreamed.Load(),
+		Shed:          s.shed.Load(),
+		Rejected:      s.rejected.Load(),
+		Panics:        s.panics.Load(),
+		Timeouts:      s.timeouts.Load(),
+		WriteStalls:   s.writeStalls.Load(),
+		QueryCache:    s.eng.QueryCacheStats(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(s.snapshot())
+}
+
+// noteInFlight bumps the in-flight gauge and its high-water mark,
+// returning the decrement.
+func (s *Server) noteInFlight() func() {
+	n := s.inFlight.Add(1)
+	for {
+		peak := s.peakInFlight.Load()
+		if n <= peak || s.peakInFlight.CompareAndSwap(peak, n) {
+			break
+		}
+	}
+	return func() { s.inFlight.Add(-1) }
+}
+
+// Dict gives handlers the decode dictionary of the served graph.
+func (s *Server) dict() *rdf.Dict { return s.eng.Graph().Dict() }

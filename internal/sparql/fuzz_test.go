@@ -1,0 +1,45 @@
+package sparql
+
+import (
+	"testing"
+)
+
+// FuzzParsePattern pins that the whole front half of the pipeline is
+// total on arbitrary input: Parse returns a pattern or an error, never
+// panics, and everything a parsed pattern immediately flows into —
+// formatting, the well-designedness check, normal-form transforms —
+// is panic-free too. Format must also round-trip: the printer's output
+// for any accepted pattern is itself parseable.
+func FuzzParsePattern(f *testing.F) {
+	f.Add(`(?x p ?y)`)
+	f.Add(`((?x p ?y) OPT (?y q ?z))`)
+	f.Add(`((?x p ?y) AND (?z p ?w))`)
+	f.Add(`((?x p ?y) UNION (?x q ?y))`)
+	f.Add(`(((?x, p, ?y) OPT (?z, q, ?x)) OPT ((?y, r, ?z) AND (?z, r, ?o2)))`)
+	f.Add(`((?x p`)
+	f.Add(`()`)
+	f.Add(`(?x ?y ?z ?w)`)
+	f.Add("((?x \x00 ?y) OPT (?y q ?z))")
+	// Regression: "??" used to double-strip into an empty-named
+	// variable that Format printed as unparseable "?".
+	f.Add(`(?? 0 0)`)
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		_ = CheckWellDesigned(p)
+		_ = IsOptNormalForm(p)
+		_, _ = ToOptNormalForm(p)
+		_, _ = HoistUnions(p)
+
+		text := Format(p)
+		q, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Format output %q of accepted input %q does not re-parse: %v", text, src, err)
+		}
+		if !Equal(p, q) {
+			t.Fatalf("Format round-trip changed the pattern: %q -> %q", src, text)
+		}
+	})
+}

@@ -124,6 +124,12 @@ func parseTerm(text string, pos int) (rdf.Term, error) {
 		if name == "" {
 			return rdf.Term{}, fmt.Errorf("sparql: pos %d: empty variable name", pos)
 		}
+		// rdf.Var strips one more leading "?" for convenience; a name
+		// that still starts with "?" here (input "??…") would silently
+		// collapse to a different — possibly empty — variable.
+		if strings.HasPrefix(name, "?") {
+			return rdf.Term{}, fmt.Errorf("sparql: pos %d: bad variable name %q", pos, text)
+		}
 		return rdf.Var(name), nil
 	}
 	v := text

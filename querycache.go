@@ -1,0 +1,128 @@
+package wdsparql
+
+// This file implements the query-cache seam of the engine: one small
+// mutex-guarded LRU used at two levels of the prepare pipeline.
+//
+//   - The package-wide analysis cache (engine.go, analyze) memoises the
+//     graph-independent static analysis per canonical pattern text. It
+//     predates this file as a bounded map that stopped admitting new
+//     patterns once full; promoting it to an LRU keeps long-running
+//     servers adaptive — hot queries stay, one-off queries age out.
+//   - The per-engine PreparedQuery cache (WithQueryCache, PrepareText)
+//     memoises fully compiled queries keyed by the exact request text,
+//     so a serving endpoint pays parse + analysis + compilation once
+//     per distinct query, not per request.
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// lruCache is a string-keyed LRU with hit/miss counters. A nil
+// *lruCache is a valid, always-missing cache, so callers need no
+// enabled-or-not branches. Safe for concurrent use.
+type lruCache[V any] struct {
+	mu sync.Mutex
+	// capacity is fixed at construction; ll's front is the most
+	// recently used entry, and inserts beyond capacity evict ll.Back().
+	capacity int
+	entries  map[string]*list.Element
+	ll       *list.List
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+// newLRUCache returns an LRU holding at most capacity entries, or nil
+// (the disabled cache) when capacity ≤ 0.
+func newLRUCache[V any](capacity int) *lruCache[V] {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lruCache[V]{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element, capacity),
+		ll:       list.New(),
+	}
+}
+
+// get returns the cached value for key, promoting it to most recently
+// used, and records the hit or miss.
+func (c *lruCache[V]) get(key string) (V, bool) {
+	var zero V
+	if c == nil {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	c.misses.Add(1)
+	return zero, false
+}
+
+// add inserts key→val, evicting the least recently used entry beyond
+// capacity, and returns the value cached under key. When a concurrent
+// insert won the race, the first value wins and is returned — callers
+// adopt it, so every holder of the key shares one cached value (the
+// analysis cache relies on this to run the exponential width
+// computations at most once per pattern).
+func (c *lruCache[V]) add(key string, val V) V {
+	if c == nil {
+		return val
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val
+	}
+	c.entries[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
+	if c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.entries, last.Value.(*lruEntry[V]).key)
+	}
+	return val
+}
+
+// len returns the current number of entries.
+func (c *lruCache[V]) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats reports the state of an engine's query cache: cumulative
+// hit/miss counters since the engine was built, current occupancy and
+// the configured capacity. All zero when the cache is disabled.
+type CacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Size   int    `json:"size"`
+	Cap    int    `json:"cap"`
+}
+
+func (c *lruCache[V]) cacheStats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Size:   c.len(),
+		Cap:    c.capacity,
+	}
+}

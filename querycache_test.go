@@ -1,0 +1,172 @@
+package wdsparql
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The query-cache seam: LRU mechanics, the PrepareText identity
+// contract (hit returns the same *PreparedQuery; distinct texts of the
+// same pattern still share one analysis), miss-on-error, and
+// concurrent use.
+
+func TestLRUCacheEviction(t *testing.T) {
+	c := newLRUCache[int](2)
+	c.add("a", 1)
+	c.add("b", 2)
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing before capacity was reached")
+	}
+	// a was just used, so inserting c must evict b (the LRU entry).
+	c.add("c", 3)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction although it was least recently used")
+	}
+	for key, want := range map[string]int{"a": 1, "c": 3} {
+		if got, ok := c.get(key); !ok || got != want {
+			t.Fatalf("get(%q) = %d, %v; want %d, true", key, got, ok, want)
+		}
+	}
+	if n := c.len(); n != 2 {
+		t.Fatalf("len = %d, want 2", n)
+	}
+	st := c.cacheStats()
+	if st.Cap != 2 || st.Size != 2 || st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}
+
+func TestLRUCacheFirstAddWins(t *testing.T) {
+	c := newLRUCache[int](4)
+	if got := c.add("k", 1); got != 1 {
+		t.Fatalf("first add returned %d, want 1", got)
+	}
+	// A second add of the same key must return the already-cached
+	// value: concurrent preparers all adopt one shared entry.
+	if got := c.add("k", 2); got != 1 {
+		t.Fatalf("second add returned %d, want the first value 1", got)
+	}
+}
+
+func TestNilLRUCacheIsDisabled(t *testing.T) {
+	var c *lruCache[int]
+	if _, ok := c.get("k"); ok {
+		t.Fatal("nil cache reported a hit")
+	}
+	if got := c.add("k", 7); got != 7 {
+		t.Fatalf("nil cache add returned %d, want the passed value", got)
+	}
+	if st := c.cacheStats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v, want zero", st)
+	}
+}
+
+func TestPrepareTextCacheHitReturnsSameQuery(t *testing.T) {
+	g := MustParseGraph("a p b .\nb q c .")
+	e := NewEngine(g, WithQueryCache(8))
+	const src = `((?x p ?y) OPT (?y q ?z))`
+	q1, err := e.PrepareText(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := e.PrepareText(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 != q2 {
+		t.Fatal("cache hit returned a distinct PreparedQuery")
+	}
+	st := e.QueryCacheStats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 || st.Cap != 8 {
+		t.Fatalf("unexpected cache stats: %+v", st)
+	}
+	// The cached query must still answer correctly.
+	n, err := q2.Count(context.Background())
+	if err != nil || n != 1 {
+		t.Fatalf("Count = %d, %v; want 1, nil", n, err)
+	}
+}
+
+func TestPrepareTextErrorsNotCached(t *testing.T) {
+	e := NewEngine(nil, WithQueryCache(8))
+	for _, src := range []string{
+		"((?x p",                          // parse error
+		`((?x p ?y) OPT (?y q ?z)) AND (?z r ?w)`, // not well-designed: ?z escapes the OPT
+	} {
+		if _, err := e.PrepareText(src); err == nil {
+			t.Fatalf("PrepareText(%q) succeeded, want error", src)
+		}
+	}
+	if st := e.QueryCacheStats(); st.Size != 0 {
+		t.Fatalf("errors occupied cache slots: %+v", st)
+	}
+}
+
+func TestPrepareTextWithoutCache(t *testing.T) {
+	e := NewEngine(MustParseGraph("a p b ."))
+	q, err := e.PrepareText(`(?x p ?y)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := q.Count(context.Background())
+	if err != nil || n != 1 {
+		t.Fatalf("Count = %d, %v; want 1, nil", n, err)
+	}
+	if st := e.QueryCacheStats(); st != (CacheStats{}) {
+		t.Fatalf("disabled cache has non-zero stats: %+v", st)
+	}
+}
+
+func TestPrepareTextConcurrent(t *testing.T) {
+	g := MustParseGraph("a p b .\nb p c .\nc p a .")
+	e := NewEngine(g, WithQueryCache(4))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Two distinct texts so gets and adds interleave.
+			src := fmt.Sprintf(`(?x p ?y%d)`, i%2)
+			for j := 0; j < 50; j++ {
+				q, err := e.PrepareText(src)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n, err := q.Count(context.Background()); err != nil || n != 3 {
+					t.Errorf("Count = %d, %v; want 3, nil", n, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := e.QueryCacheStats()
+	if st.Size != 2 {
+		t.Fatalf("cache size = %d, want 2: %+v", st.Size, st)
+	}
+	if st.Hits+st.Misses != 8*50 {
+		t.Fatalf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*50)
+	}
+}
+
+func TestAnalysisCacheLRUSharing(t *testing.T) {
+	// Two engines preparing the same pattern text must share one
+	// analysis (the width computations run at most once per pattern).
+	p := MustParsePattern(`((?x p ?y) OPT (?y q ?z))`)
+	e1 := NewEngine(MustParseGraph("a p b ."))
+	e2 := NewEngine(MustParseGraph("c p d ."))
+	q1, err := e1.Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := e2.Prepare(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.an != q2.an {
+		t.Fatal("engines did not share the memoised analysis")
+	}
+}
