@@ -14,14 +14,15 @@ vet:
 # series), the E9 enumeration benchmark (string pipeline vs compiled
 # rows), the E10 engine benchmark (prepared vs one-shot execution), the
 # E11 storage benchmark (frozen CSR backend vs map backend), the E12
-# sharding benchmark (sharded backend vs frozen, per shard count) and
-# the E13 serving benchmark (HTTP request latency per engine mode plus
-# the overload cell's shed%/p99 metrics), recorded as go-test JSON
-# events so the numbers are tracked across PRs. Bump the artifact name
-# (BENCH_<n>.json) per PR.
-BENCH_OUT ?= BENCH_6.json
+# sharding benchmark (sharded backend vs frozen, per shard count), the
+# E13 serving benchmark (HTTP request latency per engine mode plus
+# the overload cell's shed%/p99 metrics) and the E14 snapshot benchmark
+# (cold start to first row: parse vs heap load vs mmap), recorded as
+# go-test JSON events so the numbers are tracked across PRs. Bump the
+# artifact name (BENCH_<n>.json) per PR.
+BENCH_OUT ?= BENCH_7.json
 bench:
-	$(GO) test -bench='E3|E9|E10|E11|E12|E13' -benchmem -run='^$$' -json > $(BENCH_OUT)
+	$(GO) test -bench='E3|E9|E10|E11|E12|E13|E14' -benchmem -run='^$$' -json > $(BENCH_OUT)
 	@grep 'ns/op' $(BENCH_OUT) | sed -E 's/.*"Output":"(.*)\\n".*/\1/; s/\\t/\t/g'
 
 # Run the streaming SPARQL endpoint over an N-Triples file:

@@ -15,6 +15,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -629,4 +631,72 @@ func BenchmarkE13Serving(b *testing.B) {
 		b.ReportMetric(float64(shed)/float64(ok+shed+errs)*100, "shed%")
 		b.ReportMetric(float64(p99.Milliseconds()), "p99_ms")
 	})
+}
+
+// BenchmarkE14SnapshotColdStart measures cold start to the first query
+// row on the E9 shape at |G| = 65536, per startup path: re-parsing the
+// N-Triples text (interning + index rebuild), loading the checksummed
+// snapshot image into the heap (read + CRC validation, zero parse),
+// and mmapping it (load cost independent of graph size — the pages the
+// first query needs fault in on demand). Every iteration is a genuine
+// cold start: graph construction, engine, prepare, and one row.
+func BenchmarkE14SnapshotColdStart(b *testing.B) {
+	g := rdf.GraphFromTriples(bench.E11Triples(16384))
+	dir := b.TempDir()
+	ntPath := filepath.Join(dir, "g.nt")
+	snapPath := filepath.Join(dir, "g.wdsnap")
+	f, err := os.Create(ntPath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rdf.WriteGraph(f, g); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := g.WriteSnapshot(snapPath); err != nil {
+		b.Fatal(err)
+	}
+
+	firstRow := func(b *testing.B, g *rdf.Graph) {
+		b.Helper()
+		q, err := wdsparql.NewEngine(g).PrepareText(bench.E14QueryText)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := 0
+		for range q.Rows(context.Background(), wdsparql.Limit(1)) {
+			rows++
+		}
+		if rows != 1 {
+			b.Fatalf("first row not produced: %d", rows)
+		}
+	}
+	b.Run("parse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f, err := os.Open(ntPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := rdf.ReadGraph(f)
+			f.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			firstRow(b, g)
+		}
+	})
+	for _, mode := range []rdf.SnapshotMode{rdf.SnapshotHeap, rdf.SnapshotMmap} {
+		b.Run("load-"+mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				snap, err := rdf.LoadSnapshot(snapPath, mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				firstRow(b, snap.Graph())
+				snap.Close()
+			}
+		})
+	}
 }

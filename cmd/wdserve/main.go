@@ -11,9 +11,17 @@
 // Usage:
 //
 //	wdserve -data graph.nt [-addr :8080] [flags]
+//	wdserve -snapshot graph.wdsnap [-snapshot-mode mmap|heap] [flags]
+//
+// With -snapshot the graph comes off a checksummed snapshot image
+// (built by wdsnap) instead of being parsed: mmap mode starts serving
+// in milliseconds regardless of graph size, and POST /reload re-reads
+// the snapshot path and swaps the engine in without dropping a single
+// in-flight request.
 //
 // Operational endpoints: /healthz (liveness), /readyz (flips to 503
-// while draining), /stats (serving counters as JSON).
+// while draining), /stats (serving counters as JSON), /reload (POST;
+// snapshot serving only).
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -35,7 +44,9 @@ import (
 
 func main() {
 	var (
-		dataPath = flag.String("data", "", "RDF graph file (N-Triples subset); '-' for stdin")
+		dataPath = flag.String("data", "", "RDF graph file (N-Triples subset, optionally gzipped); '-' for stdin")
+		snapPath = flag.String("snapshot", "", "snapshot image to serve from (see wdsnap); enables POST /reload")
+		snapMode = flag.String("snapshot-mode", "mmap", "snapshot loader: mmap | heap")
 		addr     = flag.String("addr", ":8080", "listen address")
 
 		algo    = flag.String("algo", "naive", "evaluation algorithm: naive | pebble")
@@ -56,27 +67,23 @@ func main() {
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "wdserve: ", log.LstdFlags)
-	if *dataPath == "" {
-		fmt.Fprintln(os.Stderr, "wdserve: -data is required")
+	if (*dataPath == "") == (*snapPath == "") {
+		fmt.Fprintln(os.Stderr, "wdserve: exactly one of -data or -snapshot is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	g, err := readGraph(*dataPath)
-	if err != nil {
-		logger.Fatal(err)
-	}
 	alg := wdsparql.AlgNaive
 	if *algo == "pebble" {
 		alg = wdsparql.AlgPebble
 	}
-	eng := wdsparql.NewEngine(g,
+	opts := []wdsparql.Option{
 		wdsparql.WithAlgorithm(alg), wdsparql.WithPebbleK(*k),
 		wdsparql.WithWorkers(*workers), wdsparql.WithShards(*shards),
-		wdsparql.WithQueryCache(*qcache))
+		wdsparql.WithQueryCache(*qcache),
+	}
 
-	srv := server.New(server.Config{
-		Engine:         eng,
+	cfg := server.Config{
 		MaxConcurrent:  *gate,
 		MaxQueue:       *queue,
 		QueueTimeout:   *queueTimeout,
@@ -85,7 +92,46 @@ func main() {
 		MaxLimit:       *maxLimit,
 		MaxWorkers:     max(*workers, 1),
 		WriteTimeout:   *writeTimeout,
-	})
+	}
+
+	var g *rdf.Graph
+	if *snapPath != "" {
+		mode, err := wdsparql.ParseSnapshotMode(*snapMode)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		load := func() (*wdsparql.Engine, *server.SnapshotStats, io.Closer, error) {
+			eng, snap, err := wdsparql.NewEngineFromSnapshot(*snapPath, mode, opts...)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			return eng, server.SnapshotStatsOf(snap.Info()), snap, nil
+		}
+		eng, stats, closer, err := load()
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("snapshot %s: %s, crc %s, loaded in %.1fms (%s)",
+			*snapPath, stats.Mode, stats.Checksum, stats.LoadMs,
+			func() string {
+				if mode == wdsparql.SnapshotMmap {
+					return "pages fault in on demand"
+				}
+				return "fully resident"
+			}())
+		cfg.Engine, cfg.Snapshot, cfg.Closer, cfg.Reload = eng, stats, closer, load
+		g = eng.Graph()
+	} else {
+		var err error
+		g, err = readGraph(*dataPath)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		cfg.Engine = wdsparql.NewEngine(g, opts...)
+		g = cfg.Engine.Graph()
+	}
+
+	srv := server.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -217,6 +217,21 @@ func TestE12Agreement(t *testing.T) {
 	}
 }
 
+func TestE14Agreement(t *testing.T) {
+	tbl := E14SnapshotColdStart([]int{64, 256})
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-2] == "0" {
+			t.Fatalf("E14 must enumerate a non-empty result: %v", row)
+		}
+		if row[len(row)-1] != "true" {
+			t.Fatalf("parse, heap and mmap startup paths must agree: %v", row)
+		}
+	}
+}
+
 func TestParseShardCounts(t *testing.T) {
 	if got, err := ParseShardCounts(" 1, 2,7 "); err != nil || len(got) != 3 || got[2] != 7 {
 		t.Fatalf("ParseShardCounts: %v, %v", got, err)
@@ -247,7 +262,7 @@ func TestTableAgreement(t *testing.T) {
 
 func TestSuiteComposition(t *testing.T) {
 	tables := Suite(false)
-	if len(tables) != 13 {
+	if len(tables) != 14 {
 		t.Fatalf("suite size: %d", len(tables))
 	}
 	ids := map[string]bool{}
@@ -262,7 +277,7 @@ func TestSuiteComposition(t *testing.T) {
 			}
 		}
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"} {
 		if !ids[id] {
 			t.Fatalf("missing %s", id)
 		}

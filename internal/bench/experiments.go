@@ -760,7 +760,7 @@ func ParseShardCounts(s string) ([]int, error) {
 	return out, nil
 }
 
-// Experiments returns the E1..E13 suite as lazily-run experiments.
+// Experiments returns the E1..E14 suite as lazily-run experiments.
 // shardCounts parameterises the E12 shard-scaling sweep (wdbench
 // -shards); when omitted it defaults to 1, 2 and 4.
 func Experiments(full bool, workers int, shardCounts ...int) []Experiment {
@@ -769,9 +769,11 @@ func Experiments(full bool, workers int, shardCounts ...int) []Experiment {
 	}
 	e3Max := 6
 	e13PerClient := 4
+	e14Ns := []int{4096, 16384}
 	if full {
 		e3Max = 7
 		e13PerClient = 16
+		e14Ns = append(e14Ns, 65536)
 	}
 	return []Experiment{
 		{"E1", func() *Table { return E1CoreTreewidth(7) }},
@@ -787,6 +789,7 @@ func Experiments(full bool, workers int, shardCounts ...int) []Experiment {
 		{"E11", func() *Table { return E11FrozenBackend([]int{1024, 4096, 16384}, 3) }},
 		{"E12", func() *Table { return E12ShardedBackend([]int{4096, 16384}, shardCounts, 3) }},
 		{"E13", func() *Table { return E13Serving(128, e13PerClient, workers, []int{1, 4, 16}, 8, 64) }},
+		{"E14", func() *Table { return E14SnapshotColdStart(e14Ns) }},
 	}
 }
 

@@ -2,6 +2,7 @@ package rdf
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"strings"
@@ -19,12 +20,14 @@ import (
 // naming the offending line. ReadGraphMaxLine configures it per call.
 const MaxLineLen = 16 << 20 // 16 MiB
 
-// ReadGraph parses a graph from r. It returns the first syntax error
-// encountered, annotated with a line number — including lines longer
-// than MaxLineLen. The graph is bulk-loaded through a GraphBuilder and
-// returned frozen (see Graph.Freeze): cold load is one interning pass
-// plus one compaction, and the result is immediately ready for
-// concurrent readers. Mutating it thaws it.
+// ReadGraph parses a graph from r. Gzipped input is detected by its
+// magic bytes and decompressed transparently, so `wdserve -data g.nt.gz`
+// and a plain file behave identically. It returns the first syntax
+// error encountered, annotated with a line number — including lines
+// longer than MaxLineLen. The graph is bulk-loaded through a
+// GraphBuilder and returned frozen (see Graph.Freeze): cold load is one
+// interning pass plus one compaction, and the result is immediately
+// ready for concurrent readers. Mutating it thaws it.
 func ReadGraph(r io.Reader) (*Graph, error) {
 	return ReadGraphMaxLine(r, MaxLineLen)
 }
@@ -39,6 +42,19 @@ func ReadGraphMaxLine(r io.Reader, maxLine int) (*Graph, error) {
 	}
 	b := NewGraphBuilder(0)
 	br := bufio.NewReaderSize(r, 64*1024)
+	// Gzip auto-detection: sniff the two magic bytes without consuming
+	// them (a short Peek just means the input is shorter than a gzip
+	// header, so it cannot be gzip). Corrupt gzip streams surface as
+	// read errors below, never as silent truncation — the gzip reader
+	// checks the trailing CRC before reporting EOF.
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: gzip input: %w", err)
+		}
+		defer zr.Close()
+		br = bufio.NewReaderSize(zr, 64*1024)
+	}
 	lineNo := 0
 	for {
 		line, err := readLine(br, maxLine)

@@ -1,6 +1,8 @@
 package rdf
 
 import (
+	"bytes"
+	"compress/gzip"
 	"fmt"
 	"strings"
 	"testing"
@@ -75,5 +77,75 @@ func TestReadGraphLineNumbersAfterLongLines(t *testing.T) {
 	_, err := ReadGraph(strings.NewReader(src))
 	if err == nil || !strings.Contains(err.Error(), "line 4") {
 		t.Fatalf("error %v does not name line 4", err)
+	}
+}
+
+// gzipped compresses src with gzip at the default level.
+func gzipped(t *testing.T, src string) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(src)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadGraphGzip pins the transparent gzip path: the same source
+// parses to the same graph whether plain or gzipped, and the detection
+// is by magic bytes, not file names.
+func TestReadGraphGzip(t *testing.T) {
+	src := "a p b .\nb p c .\nc q a .\n"
+	want, err := ReadGraph(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadGraph(bytes.NewReader(gzipped(t, src)))
+	if err != nil {
+		t.Fatalf("gzipped ReadGraph: %v", err)
+	}
+	if g.Len() != want.Len() {
+		t.Fatalf("gzipped Len = %d, plain Len = %d", g.Len(), want.Len())
+	}
+	for _, tr := range want.Triples() {
+		if !g.Contains(tr) {
+			t.Fatalf("gzipped graph lacks %v", tr)
+		}
+	}
+}
+
+// TestReadGraphGzipTruncated pins that a truncated gzip stream is an
+// error, never a silently shorter graph: the gzip trailer CRC must be
+// seen before EOF is believed.
+func TestReadGraphGzipTruncated(t *testing.T) {
+	full := gzipped(t, "a p b .\nb p c .\nc q a .\n")
+	for _, cut := range []int{len(full) - 1, len(full) - 8, len(full) / 2, 3} {
+		if _, err := ReadGraph(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation to %d of %d bytes parsed without error", cut, len(full))
+		}
+	}
+}
+
+// TestReadGraphGzipCorrupt pins that flipping payload bits surfaces as
+// an error (inflate failure or trailer CRC mismatch).
+func TestReadGraphGzipCorrupt(t *testing.T) {
+	full := gzipped(t, strings.Repeat("a p b .\n", 64))
+	bad := append([]byte(nil), full...)
+	bad[len(bad)/2] ^= 0x40
+	if _, err := ReadGraph(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt gzip stream parsed without error")
+	}
+}
+
+// TestReadGraphNotGzip pins that a graph whose first line merely
+// resembles binary is still treated as text: only the exact two-byte
+// gzip magic triggers decompression.
+func TestReadGraphNotGzip(t *testing.T) {
+	g, err := ReadGraph(strings.NewReader("\x1fx p b .\n"))
+	if err != nil || g.Len() != 1 {
+		t.Fatalf("near-magic text input: %v, %v", g, err)
 	}
 }

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package rdf
+
+import "errors"
+
+// mmapFile is unavailable on non-unix platforms; callers fall back to
+// SnapshotHeap, which shares the whole load path minus the mapping.
+func mmapFile(path string) ([]byte, error) {
+	return nil, errors.New("mmap snapshots are not supported on this platform; load with SnapshotHeap")
+}
+
+func munmapFile(b []byte) error { return nil }

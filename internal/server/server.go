@@ -21,16 +21,22 @@
 //   - Graceful drain: Shutdown flips /readyz, stops accepting, drains
 //     in-flight requests up to the caller's deadline, then hard-cancels
 //     the rest through the server's base context. No goroutine leaks.
+//   - Hot reload: when serving from a snapshot, POST /reload swaps in a
+//     freshly loaded engine atomically; in-flight requests finish on the
+//     generation they started with and the old backing closes only when
+//     its last request completes (see engine.go).
 //
 // /healthz, /readyz and /stats expose liveness, drain state and the
 // serving counters (cache hit rate, in-flight, shed count, rows
-// streamed, backend shape). See DESIGN.md §5 for the full lifecycle.
+// streamed, backend shape, snapshot identity). See DESIGN.md §5 for
+// the full lifecycle.
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
@@ -39,13 +45,21 @@ import (
 	"time"
 
 	"wdsparql"
-	"wdsparql/internal/rdf"
 )
 
 // Config parameterises a Server. Engine is required; every other field
 // has a serving-safe default (see the constants below).
 type Config struct {
 	Engine *wdsparql.Engine
+
+	// Snapshot serving and hot reload (all optional; see engine.go).
+	// Snapshot describes the image behind Engine for /stats; Closer is
+	// the image's backing resources, closed when the engine generation
+	// retires; Reload, when set, enables POST /reload and must return a
+	// fresh engine (with a fresh query cache) over a re-read snapshot.
+	Snapshot *SnapshotStats
+	Closer   io.Closer
+	Reload   func() (*wdsparql.Engine, *SnapshotStats, io.Closer, error)
 
 	// Admission control.
 	MaxConcurrent int           // gate width: queries executing at once (default 8)
@@ -117,7 +131,7 @@ func (c *Config) withDefaults() Config {
 // lifecycle around it. Construct with New; a Server must not be copied.
 type Server struct {
 	cfg Config
-	eng *wdsparql.Engine
+	cur atomic.Pointer[engineState] // current engine generation (see engine.go)
 	adm *admission
 	mux *http.ServeMux
 
@@ -128,6 +142,8 @@ type Server struct {
 	draining atomic.Bool
 	inflight sync.WaitGroup // running /sparql handlers
 	started  time.Time
+	stopOnce sync.Once  // drops the holder's engine reference at Shutdown
+	reloadMu sync.Mutex // serialises POST /reload
 
 	// Serving counters, exposed by /stats.
 	queries      atomic.Uint64 // admitted query executions
@@ -137,6 +153,8 @@ type Server struct {
 	panics       atomic.Uint64 // recovered evaluation panics
 	timeouts     atomic.Uint64 // request deadlines expired mid-stream
 	writeStalls  atomic.Uint64 // streams cut by write deadline/client loss
+	reloads      atomic.Uint64 // successful POST /reload swaps
+	reloadFails  atomic.Uint64 // POST /reload attempts that kept the old engine
 	inFlight     atomic.Int64
 	peakInFlight atomic.Int64
 
@@ -156,15 +174,16 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
-		eng:     cfg.Engine,
 		adm:     newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
+	s.cur.Store(newEngineState(cfg.Engine, cfg.Snapshot, cfg.Closer))
 	s.mux.HandleFunc("/sparql", s.handleSparql)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/reload", s.handleReload)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.http = &http.Server{
 		Handler: s.mux,
@@ -206,6 +225,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// tracks connections, not handler returns.
 	s.baseCancel()
 	s.inflight.Wait()
+	// Every handler has returned: drop the holder's engine reference so
+	// the backing snapshot (if any) closes. Requests were the only other
+	// holders, and they are done.
+	s.stopOnce.Do(func() {
+		if st := s.cur.Load(); st != nil {
+			st.release()
+		}
+	})
 	if err != nil {
 		// The drain deadline expired: force-close the connections the
 		// cancelled handlers were writing to.
@@ -262,43 +289,56 @@ type Stats struct {
 	WriteStalls  uint64 `json:"write_stalls"`
 
 	QueryCache wdsparql.CacheStats `json:"query_cache"`
+
+	// Snapshot serving: the image behind the engine (nil when serving
+	// a parsed graph) and the hot-reload counters.
+	Snapshot       *SnapshotStats `json:"snapshot,omitempty"`
+	Reloads        uint64         `json:"reloads"`
+	ReloadFailures uint64         `json:"reload_failures"`
 }
 
 // snapshot assembles the current Stats.
 func (s *Server) snapshot() Stats {
-	g := s.eng.Graph()
-	backend := "map"
+	st := Stats{
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Draining:       s.draining.Load(),
+		Gate:           s.cfg.MaxConcurrent,
+		QueueCap:       s.cfg.MaxQueue,
+		InFlight:       s.inFlight.Load(),
+		PeakInFlight:   s.peakInFlight.Load(),
+		Queued:         s.adm.waiting(),
+		PeakQueued:     s.adm.peakWaiting(),
+		Queries:        s.queries.Load(),
+		RowsStreamed:   s.rowsStreamed.Load(),
+		Shed:           s.shed.Load(),
+		Rejected:       s.rejected.Load(),
+		Panics:         s.panics.Load(),
+		Timeouts:       s.timeouts.Load(),
+		WriteStalls:    s.writeStalls.Load(),
+		Reloads:        s.reloads.Load(),
+		ReloadFailures: s.reloadFails.Load(),
+	}
+	// The data-shape section reads the current engine generation, held
+	// for the duration of the read so a concurrent reload cannot close
+	// its backing mid-inspection.
+	eng := s.engine()
+	if eng == nil {
+		return st // shut down: counters only
+	}
+	defer eng.release()
+	g := eng.eng.Graph()
+	st.Backend = "map"
 	switch {
 	case g.Sharded():
-		backend = "sharded"
+		st.Backend = "sharded"
+		st.Shards = g.ShardCount()
 	case g.Frozen():
-		backend = "frozen"
+		st.Backend = "frozen"
 	}
-	shards := 0
-	if g.Sharded() {
-		shards = g.ShardCount()
-	}
-	return Stats{
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Draining:      s.draining.Load(),
-		Backend:       backend,
-		Shards:        shards,
-		Triples:       g.Len(),
-		Gate:          s.cfg.MaxConcurrent,
-		QueueCap:      s.cfg.MaxQueue,
-		InFlight:      s.inFlight.Load(),
-		PeakInFlight:  s.peakInFlight.Load(),
-		Queued:        s.adm.waiting(),
-		PeakQueued:    s.adm.peakWaiting(),
-		Queries:       s.queries.Load(),
-		RowsStreamed:  s.rowsStreamed.Load(),
-		Shed:          s.shed.Load(),
-		Rejected:      s.rejected.Load(),
-		Panics:        s.panics.Load(),
-		Timeouts:      s.timeouts.Load(),
-		WriteStalls:   s.writeStalls.Load(),
-		QueryCache:    s.eng.QueryCacheStats(),
-	}
+	st.Triples = g.Len()
+	st.QueryCache = eng.eng.QueryCacheStats()
+	st.Snapshot = eng.snap
+	return st
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -320,6 +360,3 @@ func (s *Server) noteInFlight() func() {
 	}
 	return func() { s.inFlight.Add(-1) }
 }
-
-// Dict gives handlers the decode dictionary of the served graph.
-func (s *Server) dict() *rdf.Dict { return s.eng.Graph().Dict() }

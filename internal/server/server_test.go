@@ -497,13 +497,18 @@ func TestConcurrentLoadBoundedAndLeakFree(t *testing.T) {
 	}
 	t.Logf("ok=%d shed=%d peak_in_flight=%d", ok.Load(), shed.Load(), s.peakInFlight.Load())
 
+	// Close the client's pooled connections BEFORE draining: under the
+	// herd the transport dials connections that lose the race for a
+	// request and stay pooled without ever sending one. Server-side
+	// those sit in StateNew, which http.Server.Shutdown will not reap
+	// until ReadHeaderTimeout — past this test's drain deadline.
+	client.CloseIdleConnections()
+	http.DefaultClient.CloseIdleConnections()
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := s.Shutdown(ctx); err != nil {
 		t.Fatalf("Shutdown: %v", err)
 	}
-	client.CloseIdleConnections()
-	http.DefaultClient.CloseIdleConnections()
 	assertNoGoroutineLeaks(t, baseline)
 }
 

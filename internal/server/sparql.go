@@ -151,8 +151,8 @@ func accepts(header, mediaType string) bool {
 // failures onto protocol statuses: a text that does not parse is the
 // client's syntax error (400); one that parses but is not well-designed
 // is a semantically unprocessable query for this engine (422).
-func (s *Server) prepare(text string) (*wdsparql.PreparedQuery, error) {
-	q, err := s.eng.PrepareText(text)
+func (s *Server) prepare(eng *wdsparql.Engine, text string) (*wdsparql.PreparedQuery, error) {
+	q, err := eng.PrepareText(text)
 	if err == nil {
 		return q, nil
 	}
@@ -192,6 +192,17 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	defer s.inflight.Done()
 	defer s.noteInFlight()()
 
+	// Pin this request to the current engine generation: a concurrent
+	// POST /reload swaps the holder but cannot close this generation's
+	// backing (the snapshot mmap) until the release below.
+	st := s.engine()
+	if st == nil {
+		s.shed.Add(1)
+		s.unavailable(w, "draining")
+		return
+	}
+	defer st.release()
+
 	// Panic isolation: one failing evaluation must cost exactly one
 	// request. Before the response has started this is a clean 500;
 	// mid-stream the connection is aborted (http.ErrAbortHandler is
@@ -209,7 +220,7 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
-	q, err := s.prepare(req.query)
+	q, err := s.prepare(st.eng, req.query)
 	if err != nil {
 		s.rejected.Add(1)
 		s.replyError(w, err)
@@ -227,7 +238,7 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 	if s.hookBeforeStream != nil {
 		s.hookBeforeStream(req.query)
 	}
-	s.stream(ctx, w, q, req, &streaming)
+	s.stream(ctx, w, st, q, req, &streaming)
 }
 
 // stream drives one query execution onto the wire. It flushes the
@@ -236,10 +247,10 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 // Deadline expiry and cancellation close the document as valid,
 // truncated output; write failures (stalled or vanished client) stop
 // the enumeration at the next row.
-func (s *Server) stream(ctx context.Context, w http.ResponseWriter, q *wdsparql.PreparedQuery, req request, streaming *bool) {
+func (s *Server) stream(ctx context.Context, w http.ResponseWriter, st *engineState, q *wdsparql.PreparedQuery, req request, streaming *bool) {
 	rc := http.NewResponseController(w)
 	bw := bufio.NewWriterSize(w, 8<<10)
-	enc := newEncoder(req.format, bw, q.Layout(), s.dict())
+	enc := newEncoder(req.format, bw, q.Layout(), st.dict())
 
 	flush := func() error {
 		// The deadline covers this flush and every buffered write until

@@ -3,7 +3,9 @@ package wdsparql
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -149,6 +151,81 @@ func TestPrepareTextConcurrent(t *testing.T) {
 	}
 	if st.Hits+st.Misses != 8*50 {
 		t.Fatalf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*50)
+	}
+}
+
+// TestPrepareTextConcurrentEviction hammers a tiny LRU with far more
+// distinct query texts than it can hold, from many goroutines, while a
+// sampler reads stats throughout. Under -race this pins the locking
+// discipline of the eviction path; the assertions pin that occupancy
+// never exceeds the capacity (neither mid-run nor at the end) and that
+// the counters stay consistent — every PrepareText call is exactly one
+// hit or one miss, and every distinct text must have missed at least
+// once.
+func TestPrepareTextConcurrentEviction(t *testing.T) {
+	g := MustParseGraph("a p b .\nb p c .\nc p a .")
+	const (
+		capacity = 4
+		workers  = 8
+		iters    = 200
+		distinct = 32 // texts in flight: 8× the capacity, so eviction churns
+	)
+	e := NewEngine(g, WithQueryCache(capacity))
+
+	stop := make(chan struct{})
+	var overCap atomic.Int64
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if st := e.QueryCacheStats(); st.Size > capacity {
+				overCap.Store(int64(st.Size))
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				src := fmt.Sprintf(`(?x p ?y%d)`, (w*iters+j)%distinct)
+				q, err := e.PrepareText(src)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if n, err := q.Count(context.Background()); err != nil || n != 3 {
+					t.Errorf("Count = %d, %v; want 3, nil", n, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+
+	if n := overCap.Load(); n != 0 {
+		t.Fatalf("cache occupancy reached %d, capacity %d", n, capacity)
+	}
+	st := e.QueryCacheStats()
+	if st.Size > capacity || st.Size == 0 {
+		t.Fatalf("final size = %d, want 1..%d", st.Size, capacity)
+	}
+	if st.Hits+st.Misses != workers*iters {
+		t.Fatalf("hits+misses = %d, want %d", st.Hits+st.Misses, workers*iters)
+	}
+	if st.Misses < distinct {
+		t.Fatalf("misses = %d, want ≥ %d (every distinct text misses at least once)", st.Misses, distinct)
 	}
 }
 
