@@ -12,6 +12,7 @@ package wdsparql_test
 // engine API.
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math/rand"
@@ -26,6 +27,7 @@ import (
 	"wdsparql/internal/gen"
 	"wdsparql/internal/graphalg"
 	"wdsparql/internal/hom"
+	"wdsparql/internal/ingest"
 	"wdsparql/internal/pebble"
 	"wdsparql/internal/ptree"
 	"wdsparql/internal/rdf"
@@ -699,4 +701,90 @@ func BenchmarkE14SnapshotColdStart(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkE15Ingest measures the live-data path on the E9 shape at
+// |G| = 65536: the parallel streaming ingest pipeline against the
+// sequential reader on the same N-Triples bytes (sequential/parallel/
+// parallel-sharded), and enumeration with the last tenth of the graph
+// in the mutable delta overlay versus fully frozen versus refrozen.
+func BenchmarkE15Ingest(b *testing.B) {
+	ts := bench.E11Triples(16384)
+	var sb []byte
+	{
+		g := rdf.GraphFromTriples(ts)
+		var buf bytes.Buffer
+		if err := rdf.WriteGraph(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+		sb = buf.Bytes()
+	}
+
+	b.Run("parse-sequential", func(b *testing.B) {
+		b.SetBytes(int64(len(sb)))
+		for i := 0; i < b.N; i++ {
+			if _, err := rdf.ReadGraph(bytes.NewReader(sb)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("ingest-w%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(sb)))
+			for i := 0; i < b.N; i++ {
+				if _, err := ingest.Load(bytes.NewReader(sb), ingest.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("ingest-sharded3", func(b *testing.B) {
+		b.SetBytes(int64(len(sb)))
+		for i := 0; i < b.N; i++ {
+			if _, err := ingest.Load(bytes.NewReader(sb), ingest.Options{Workers: 4, Shards: 3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	cut := len(ts) - len(ts)/10
+	frozen := wdsparql.NewEngine(rdf.GraphFromTriples(ts))
+	overlay := wdsparql.NewEngine(rdf.GraphFromTriples(ts[:cut])).ApplyDelta(ts[cut:])
+	refrozen := overlay.Refreeze()
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name string
+		eng  *wdsparql.Engine
+	}{{"enum-frozen", frozen}, {"enum-overlay10pct", overlay}, {"enum-refrozen", refrozen}} {
+		b.Run(tc.name, func(b *testing.B) {
+			q, err := tc.eng.PrepareText(bench.E15QueryText)
+			if err != nil {
+				b.Fatal(err)
+			}
+			want := -1
+			for i := 0; i < b.N; i++ {
+				n, err := q.Count(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if want == -1 {
+					want = n
+				} else if n != want {
+					b.Fatalf("row count changed: %d vs %d", n, want)
+				}
+			}
+			b.ReportMetric(float64(want), "rows")
+		})
+	}
+
+	b.Run("apply-delta-batch1000", func(b *testing.B) {
+		base := wdsparql.NewEngine(rdf.GraphFromTriples(ts[:cut]))
+		batch := ts[cut:min(cut+1000, len(ts))]
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if e := base.ApplyDelta(batch); e.OverlayLen() == 0 {
+				b.Fatal("delta not applied")
+			}
+		}
+	})
 }

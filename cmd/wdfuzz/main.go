@@ -5,8 +5,10 @@
 // enumeration, the top-down enumeration, and probes memberships with
 // the naive and pebble decision procedures. The top-down enumeration
 // additionally runs against every storage backend — the map graph, a
-// frozen clone, and sharded clones at each -shards count — and the
-// full row streams are diffed byte for byte (content AND order), so a
+// frozen clone, sharded clones at each -shards count, and overlay
+// twins of each (a sealed base carrying half the triples, the rest
+// applied as live deltas on the mutable overlay) — and the full row
+// streams are diffed byte for byte (content AND order), so a
 // backend that returns the right set in the wrong order fails a trial.
 // Any disagreement is printed with a reproducible seed and the process
 // exits non-zero.
@@ -91,6 +93,35 @@ func collectStream(f ptree.Forest, g *rdf.Graph) []rdf.Row {
 	return out
 }
 
+// overlayTwin rebuilds g as a sealed base carrying roughly half the
+// triples plus a mutable delta overlay holding the rest. Replaying the
+// triples in insertion order (TriplesID, not the sorted Triples)
+// reproduces g's dictionary IDs exactly, so the twin's row stream is
+// directly comparable to the map reference — the overlay merge must be
+// unobservable just like the backends. shards ≤ 1 freezes the base;
+// otherwise it is sharded.
+func overlayTwin(g *rdf.Graph, shards int) *rdf.Graph {
+	ids := g.TriplesID()
+	ts := make([]rdf.Triple, len(ids))
+	for i, t := range ids {
+		ts[i] = g.Dict().DecodeTriple(t)
+	}
+	cut := len(ts) / 2
+	og := rdf.NewGraph()
+	for _, t := range ts[:cut] {
+		og.AddTriple(t.S.Value, t.P.Value, t.O.Value)
+	}
+	if shards > 1 {
+		og.Shard(shards)
+	} else {
+		og.Freeze()
+	}
+	for _, t := range ts[cut:] {
+		og.AddDeltaTriple(t.S.Value, t.P.Value, t.O.Value)
+	}
+	return og
+}
+
 func checkTrial(trial int, p sparql.Pattern, g *rdf.Graph, shardCounts []int) bool {
 	report := func(format string, args ...interface{}) bool {
 		fmt.Fprintf(os.Stderr, "trial %d FAILED: %s\npattern: %s\ndata:\n%s",
@@ -129,12 +160,15 @@ func checkTrial(trial int, p sparql.Pattern, g *rdf.Graph, shardCounts []int) bo
 	backends := []struct {
 		name string
 		g    *rdf.Graph
-	}{{"frozen", g.Clone().Freeze()}}
+	}{{"frozen", g.Clone().Freeze()}, {"frozen+ovl", overlayTwin(g, 0)}}
 	for _, n := range shardCounts {
 		backends = append(backends, struct {
 			name string
 			g    *rdf.Graph
-		}{fmt.Sprintf("sharded(%d)", n), g.Clone().Shard(n)})
+		}{fmt.Sprintf("sharded(%d)", n), g.Clone().Shard(n)}, struct {
+			name string
+			g    *rdf.Graph
+		}{fmt.Sprintf("sharded(%d)+ovl", n), overlayTwin(g, n)})
 	}
 	for _, b := range backends {
 		got := collectStream(f, b.g)

@@ -19,9 +19,16 @@
 // the snapshot path and swaps the engine in without dropping a single
 // in-flight request.
 //
+// Live writes: POST /ingest accepts an N-Triples stream (optionally
+// gzipped) and applies it in atomic batches to a mutable overlay on
+// the sealed graph — queries keep streaming, no restart, no reload.
+// When the overlay passes -refreeze-at triples it is compacted into a
+// fresh sealed base behind the live readers. Startup loads with the
+// parallel ingest pipeline (-load-workers) and reports progress.
+//
 // Operational endpoints: /healthz (liveness), /readyz (flips to 503
 // while draining), /stats (serving counters as JSON), /reload (POST;
-// snapshot serving only).
+// snapshot serving only), /ingest (POST; live writes).
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"time"
 
 	"wdsparql"
+	"wdsparql/internal/ingest"
 	"wdsparql/internal/interrupt"
 	"wdsparql/internal/rdf"
 	"wdsparql/internal/server"
@@ -63,6 +71,11 @@ func main() {
 		maxLimit     = flag.Int("max-limit", 0, "cap on rows per request (0: unlimited)")
 		writeTimeout = flag.Duration("write-timeout", 15*time.Second, "write deadline armed at every flush")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown grace before hard-cancel")
+
+		loadWorkers    = flag.Int("load-workers", 0, "parallel-ingest workers for the -data load (0: GOMAXPROCS)")
+		ingestBatch    = flag.Int("ingest-batch", 5000, "triples per atomically applied POST /ingest batch")
+		refreezeAt     = flag.Int("refreeze-at", 50000, "overlay size that triggers a re-freeze (< 0 disables)")
+		ingestMaxBytes = flag.Int64("ingest-max-bytes", 1<<30, "bound on a POST /ingest body in bytes")
 	)
 	flag.Parse()
 
@@ -92,6 +105,9 @@ func main() {
 		MaxLimit:       *maxLimit,
 		MaxWorkers:     max(*workers, 1),
 		WriteTimeout:   *writeTimeout,
+		IngestBatch:    *ingestBatch,
+		RefreezeAt:     *refreezeAt,
+		MaxIngestBytes: *ingestMaxBytes,
 	}
 
 	var g *rdf.Graph
@@ -123,10 +139,12 @@ func main() {
 		g = eng.Graph()
 	} else {
 		var err error
-		g, err = readGraph(*dataPath)
+		start := time.Now()
+		g, err = readGraph(*dataPath, *loadWorkers, *shards, logger)
 		if err != nil {
 			logger.Fatal(err)
 		}
+		logger.Printf("loaded %d triples in %.1fs", g.Len(), time.Since(start).Seconds())
 		cfg.Engine = wdsparql.NewEngine(g, opts...)
 		g = cfg.Engine.Graph()
 	}
@@ -172,14 +190,28 @@ func main() {
 	logger.Print("shut down cleanly")
 }
 
-func readGraph(path string) (*rdf.Graph, error) {
-	if path == "-" {
-		return rdf.ReadGraph(os.Stdin)
+// readGraph loads the -data file through the parallel ingest pipeline,
+// pre-sharded for the serving backend, logging progress at most every
+// two seconds so a multi-gigabyte load is visibly alive.
+func readGraph(path string, workers, shards int, logger *log.Logger) (*rdf.Graph, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return rdf.ReadGraph(f)
+	lastLog := time.Now()
+	return ingest.Load(r, ingest.Options{
+		Workers: workers,
+		Shards:  shards,
+		Progress: func(bytes int64, triples int) {
+			if time.Since(lastLog) >= 2*time.Second {
+				lastLog = time.Now()
+				logger.Printf("loading: %d triples (%.1f MiB read)", triples, float64(bytes)/(1<<20))
+			}
+		},
+	})
 }

@@ -760,7 +760,7 @@ func ParseShardCounts(s string) ([]int, error) {
 	return out, nil
 }
 
-// Experiments returns the E1..E14 suite as lazily-run experiments.
+// Experiments returns the E1..E15 suite as lazily-run experiments.
 // shardCounts parameterises the E12 shard-scaling sweep (wdbench
 // -shards); when omitted it defaults to 1, 2 and 4.
 func Experiments(full bool, workers int, shardCounts ...int) []Experiment {
@@ -790,6 +790,7 @@ func Experiments(full bool, workers int, shardCounts ...int) []Experiment {
 		{"E12", func() *Table { return E12ShardedBackend([]int{4096, 16384}, shardCounts, 3) }},
 		{"E13", func() *Table { return E13Serving(128, e13PerClient, workers, []int{1, 4, 16}, 8, 64) }},
 		{"E14", func() *Table { return E14SnapshotColdStart(e14Ns) }},
+		{"E15", func() *Table { return E15Ingest(e14Ns, workers) }},
 	}
 }
 

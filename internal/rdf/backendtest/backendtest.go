@@ -222,6 +222,24 @@ func checkEmpty(t *testing.T, mk MakeGraph) {
 	}
 }
 
+// EqualStreams reports whether two graphs agree on the full
+// enumeration stream — content AND order, compared through each
+// graph's own dictionary, so it also catches dictionary divergence.
+// It is the any-two-graphs agreement check used outside the suite
+// (overlay compaction, snapshot round-trips, fuzz drivers).
+func EqualStreams(a, b *rdf.Graph) bool {
+	ta, tb := a.TriplesID(), b.TriplesID()
+	if len(ta) != len(tb) || a.DomSize() != b.DomSize() {
+		return false
+	}
+	for i := range ta {
+		if a.Dict().DecodeTriple(ta[i]) != b.Dict().DecodeTriple(tb[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // SuiteName returns a conventional subtest name for a backend at a
 // shard count, so the per-backend instantiations read uniformly in
 // test output.

@@ -96,6 +96,34 @@ func (b *GraphBuilder) seal() *Graph {
 	return g
 }
 
+// GraphFromEncoded seals a graph directly from pre-encoded triples:
+// d is the dictionary that interned them and all is the
+// insertion-order triple slice, already deduplicated, every position
+// an interned IRI ID. Ownership of both passes to the graph. shards
+// selects the backend: n ≤ 1 compacts into the single-arena frozen
+// view, n > 1 into a sharded CSR with n shards. This is the seam the
+// parallel ingest pipeline (internal/ingest) lands on after its
+// remap/dedup pass — the result is indistinguishable from feeding the
+// same triples through a GraphBuilder.
+func GraphFromEncoded(d *Dict, all []IDTriple, shards int) *Graph {
+	g := &Graph{dict: d, all: all}
+	g.occ = make([]int32, d.NumIRIs())
+	for _, t := range all {
+		for _, id := range t {
+			if g.occ[id] == 0 {
+				g.domSize++
+			}
+			g.occ[id]++
+		}
+	}
+	if shards > 1 {
+		g.shd = shardGraph(g, shards)
+	} else {
+		g.frz = freezeGraph(g)
+	}
+	return g
+}
+
 // GraphFromTriples bulk-loads ground triples into a frozen graph. It
 // is equivalent to GraphOf(ts...).Freeze() — same triples, same
 // dictionary IDs, same insertion order — but never builds the map

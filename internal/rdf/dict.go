@@ -57,27 +57,75 @@ func (t IDTriple) Less(u IDTriple) bool {
 
 // Dict interns strings to dense TermIDs, IRIs and variables
 // separately. The zero value is not usable; call NewDict.
+//
+// A dictionary is either a root (parent == nil, the common case) or a
+// copy-on-write extension of an immutable parent (built by Fork): the
+// extension assigns IDs densely continuing the parent's ranges and
+// keeps only its own terms in local tables, so forking is O(extension),
+// not O(dictionary). Lookups check the parent first — parents are
+// read-only from the moment of the fork, so any number of forks (and
+// the readers of the generations holding them) can share one parent
+// concurrently. The mutable-overlay write path (see overlay.go) relies
+// on exactly that: every ingest generation forks the dictionary instead
+// of copying it.
 type Dict struct {
-	iriID map[string]TermID
+	parent       *Dict // immutable shared base; nil for a root dict
+	pIRIs, pVars int   // parent table sizes at fork time
+
+	iriID map[string]TermID // local terms only (IDs ≥ pIRIs)
 	iris  []string
 	varID map[string]TermID
 	vars  []string
 }
 
-// NewDict returns an empty dictionary.
+// NewDict returns an empty root dictionary.
 func NewDict() *Dict {
 	return &Dict{iriID: map[string]TermID{}, varID: map[string]TermID{}}
 }
 
+// Fork returns a copy-on-write extension of d: a dictionary with the
+// same contents and IDs whose future interns stay local to the fork.
+// From the fork on, d must be treated as immutable — interning into a
+// forked-from dictionary would assign IDs the fork has already claimed
+// for its own terms. Forking an extension re-parents onto the same
+// root (the chain never deepens), copying only the extension tables.
+func (d *Dict) Fork() *Dict {
+	if d.parent == nil {
+		return &Dict{
+			parent: d, pIRIs: len(d.iris), pVars: len(d.vars),
+			iriID: map[string]TermID{}, varID: map[string]TermID{},
+		}
+	}
+	out := &Dict{
+		parent: d.parent, pIRIs: d.pIRIs, pVars: d.pVars,
+		iriID: make(map[string]TermID, len(d.iriID)),
+		iris:  append([]string(nil), d.iris...),
+		varID: make(map[string]TermID, len(d.varID)),
+		vars:  append([]string(nil), d.vars...),
+	}
+	for k, v := range d.iriID {
+		out.iriID[k] = v
+	}
+	for k, v := range d.varID {
+		out.varID[k] = v
+	}
+	return out
+}
+
 // InternIRI returns the ID of the IRI value, interning it if new.
 func (d *Dict) InternIRI(v string) TermID {
+	if p := d.parent; p != nil {
+		if id, ok := p.iriID[v]; ok {
+			return id
+		}
+	}
 	if id, ok := d.iriID[v]; ok {
 		return id
 	}
-	if len(d.iris) >= int(VarIDBase) {
+	if d.pIRIs+len(d.iris) >= int(VarIDBase) {
 		panic("rdf: dictionary overflow: 2^31 IRIs")
 	}
-	id := TermID(len(d.iris))
+	id := TermID(d.pIRIs + len(d.iris))
 	d.iriID[v] = id
 	d.iris = append(d.iris, v)
 	return id
@@ -87,13 +135,18 @@ func (d *Dict) InternIRI(v string) TermID {
 // interning it if new. A leading "?" is stripped, mirroring Var.
 func (d *Dict) InternVar(v string) TermID {
 	v = strings.TrimPrefix(v, "?")
+	if p := d.parent; p != nil {
+		if id, ok := p.varID[v]; ok {
+			return id
+		}
+	}
 	if id, ok := d.varID[v]; ok {
 		return id
 	}
-	if len(d.vars) >= int(VarIDBase) {
+	if d.pVars+len(d.vars) >= int(VarIDBase) {
 		panic("rdf: dictionary overflow: 2^31 variables")
 	}
-	id := VarIDBase + TermID(len(d.vars))
+	id := VarIDBase + TermID(d.pVars+len(d.vars))
 	d.varID[v] = id
 	d.vars = append(d.vars, v)
 	return id
@@ -109,13 +162,24 @@ func (d *Dict) Intern(t Term) TermID {
 
 // LookupIRI returns the ID of an IRI value without interning.
 func (d *Dict) LookupIRI(v string) (TermID, bool) {
+	if p := d.parent; p != nil {
+		if id, ok := p.iriID[v]; ok {
+			return id, true
+		}
+	}
 	id, ok := d.iriID[v]
 	return id, ok
 }
 
 // LookupVar returns the ID of a variable name without interning.
 func (d *Dict) LookupVar(v string) (TermID, bool) {
-	id, ok := d.varID[strings.TrimPrefix(v, "?")]
+	v = strings.TrimPrefix(v, "?")
+	if p := d.parent; p != nil {
+		if id, ok := p.varID[v]; ok {
+			return id, true
+		}
+	}
+	id, ok := d.varID[v]
 	return id, ok
 }
 
@@ -131,24 +195,31 @@ func (d *Dict) Lookup(t Term) (TermID, bool) {
 // the variable name, without sigil). It panics on an unknown ID.
 func (d *Dict) StringOf(id TermID) string {
 	if id.IsVar() {
-		return d.vars[id-VarIDBase]
+		slot := int(id - VarIDBase)
+		if slot < d.pVars {
+			return d.parent.vars[slot]
+		}
+		return d.vars[slot-d.pVars]
 	}
-	return d.iris[id]
+	if int(id) < d.pIRIs {
+		return d.parent.iris[id]
+	}
+	return d.iris[int(id)-d.pIRIs]
 }
 
 // TermOf decodes an ID back into a Term.
 func (d *Dict) TermOf(id TermID) Term {
 	if id.IsVar() {
-		return Term{Kind: KindVar, Value: d.vars[id-VarIDBase]}
+		return Term{Kind: KindVar, Value: d.StringOf(id)}
 	}
-	return Term{Kind: KindIRI, Value: d.iris[id]}
+	return Term{Kind: KindIRI, Value: d.StringOf(id)}
 }
 
 // NumIRIs returns the number of interned IRIs.
-func (d *Dict) NumIRIs() int { return len(d.iris) }
+func (d *Dict) NumIRIs() int { return d.pIRIs + len(d.iris) }
 
 // NumVars returns the number of interned variables.
-func (d *Dict) NumVars() int { return len(d.vars) }
+func (d *Dict) NumVars() int { return d.pVars + len(d.vars) }
 
 // EncodeTriple interns all three positions of a triple or pattern.
 func (d *Dict) EncodeTriple(t Triple) IDTriple {
@@ -161,21 +232,43 @@ func (d *Dict) DecodeTriple(t IDTriple) Triple {
 }
 
 // Clone returns a deep copy of the dictionary; the copy assigns the
-// same IDs to the same strings.
+// same IDs to the same strings. Cloning a forked dictionary flattens
+// it: the copy is a self-contained root with no parent pointer, so a
+// clone never ties the lifetime of its source's parent.
 func (d *Dict) Clone() *Dict {
+	ni, nv := d.NumIRIs(), d.NumVars()
 	out := &Dict{
-		iriID: make(map[string]TermID, len(d.iriID)),
-		iris:  append([]string(nil), d.iris...),
-		varID: make(map[string]TermID, len(d.varID)),
-		vars:  append([]string(nil), d.vars...),
+		iriID: make(map[string]TermID, ni),
+		iris:  make([]string, 0, ni),
+		varID: make(map[string]TermID, nv),
+		vars:  make([]string, 0, nv),
 	}
-	for k, v := range d.iriID {
-		out.iriID[k] = v
+	if p := d.parent; p != nil {
+		out.iris = append(out.iris, p.iris[:d.pIRIs]...)
+		out.vars = append(out.vars, p.vars[:d.pVars]...)
 	}
-	for k, v := range d.varID {
-		out.varID[k] = v
+	out.iris = append(out.iris, d.iris...)
+	out.vars = append(out.vars, d.vars...)
+	for i, s := range out.iris {
+		out.iriID[s] = TermID(i)
+	}
+	for i, s := range out.vars {
+		out.varID[s] = VarIDBase + TermID(i)
 	}
 	return out
+}
+
+// irisAll returns the dictionary's IRI table in ID order. For a root
+// dictionary this is the internal slice (callers must not modify it);
+// for a forked dictionary it stitches the parent prefix and the local
+// extension into a fresh slice.
+func (d *Dict) irisAll() []string {
+	if d.parent == nil {
+		return d.iris
+	}
+	out := make([]string, 0, d.NumIRIs())
+	out = append(out, d.parent.iris[:d.pIRIs]...)
+	return append(out, d.iris...)
 }
 
 // MatchesPatternID reports whether the ground encoded triple t matches

@@ -354,6 +354,15 @@ func (f *frozenView) candidates(p IDTriple) []IDTriple {
 // mutation burst to re-seal. Freeze returns its receiver so bulk
 // construction can chain: NewGraph → Add… → Freeze.
 func (g *Graph) Freeze() *Graph {
+	if g.ovl != nil {
+		// A sealed graph with an overlay: fold the write layer into a
+		// fresh base (never in place — the old base may be shared with
+		// forked generations) and re-seal single-arena.
+		g.foldOverlay()
+		g.frz = freezeGraph(g)
+		g.shd = nil
+		return g
+	}
 	if g.frz == nil {
 		g.frz = freezeGraph(g)
 		g.shd = nil // freezing a sharded graph re-seals single-arena
@@ -369,10 +378,22 @@ func (g *Graph) Frozen() bool { return g.frz != nil }
 
 // thaw rebuilds the map indexes from the insertion-order slice and
 // discards the frozen (or sharded) view; called by the mutation path
-// when a sealed graph is modified. Posting lists are rebuilt in
-// insertion order, so a thawed graph is indistinguishable from one
-// that was never sealed.
+// when a sealed graph is modified. An overlay is folded in at its
+// sequence position (a strict suffix of the base), and the
+// insertion-order slice and occurrence table come out fresh — the
+// originals may be shared with forked sibling generations, and the
+// mutable backend is about to append and increment in place. Posting
+// lists are rebuilt in insertion order, so a thawed graph is
+// indistinguishable from one that was never sealed.
 func (g *Graph) thaw() {
+	if g.ovl != nil {
+		g.foldOverlay() // already allocates fresh all and occ
+	} else {
+		g.all = g.all[:len(g.all):len(g.all)] // clip: appends must reallocate, not write a shared array
+		occ := make([]int32, g.dict.NumIRIs())
+		copy(occ, g.occ)
+		g.occ = occ
+	}
 	g.frz = nil
 	g.shd = nil
 	g.set = make(map[IDTriple]struct{}, len(g.all))

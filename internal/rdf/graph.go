@@ -49,6 +49,7 @@ type Graph struct {
 	domSize int     // |dom(G)| = number of IRI IDs with occ > 0
 	frz     *frozenView
 	shd     *ShardedGraph
+	ovl     *overlay // delta write layer on a sealed base; nil unless sealed
 }
 
 // NewGraph returns an empty RDF graph.
@@ -156,10 +157,14 @@ func (g *Graph) countID(t IDTriple) {
 // i·j). Solvers use it as a cheap connectivity score for value
 // ordering.
 func (g *Graph) OccurrencesID(id TermID) int32 {
-	if id.IsVar() || int(id) >= len(g.occ) {
+	if id.IsVar() {
 		return 0
 	}
-	return g.occ[id]
+	n := g.baseOcc(id)
+	if o := g.ovl; o != nil {
+		n += o.occDelta[id]
+	}
+	return n
 }
 
 // encodeGround encodes a ground triple without interning; ok is false
@@ -231,6 +236,11 @@ func (g *Graph) Contains(t Triple) bool {
 
 // ContainsID reports whether the encoded ground triple is in G.
 func (g *Graph) ContainsID(t IDTriple) bool {
+	if o := g.ovl; o != nil {
+		if _, ok := o.set[t]; ok {
+			return true
+		}
+	}
 	if sg := g.shd; sg != nil {
 		return sg.contains(t)
 	}
@@ -243,14 +253,21 @@ func (g *Graph) ContainsID(t IDTriple) bool {
 }
 
 // Len returns |G|, the number of triples.
-func (g *Graph) Len() int { return len(g.all) }
+func (g *Graph) Len() int { return len(g.all) + g.OverlayLen() }
 
 // Dom returns dom(G), the sorted set of IRIs appearing in G.
 func (g *Graph) Dom() []string {
-	out := make([]string, 0, g.domSize)
+	out := make([]string, 0, g.DomSize())
 	for id, c := range g.occ {
 		if c > 0 {
-			out = append(out, g.dict.iris[id])
+			out = append(out, g.dict.StringOf(TermID(id)))
+		}
+	}
+	if o := g.ovl; o != nil {
+		for id := range o.occDelta {
+			if g.baseOcc(id) == 0 {
+				out = append(out, g.dict.StringOf(id))
+			}
 		}
 	}
 	sort.Strings(out)
@@ -259,37 +276,77 @@ func (g *Graph) Dom() []string {
 
 // DomIDs returns the IDs of dom(G), sorted ascending.
 func (g *Graph) DomIDs() []TermID {
-	out := make([]TermID, 0, g.domSize)
+	out := make([]TermID, 0, g.DomSize())
 	for id, c := range g.occ {
 		if c > 0 {
 			out = append(out, TermID(id))
+		}
+	}
+	if o := g.ovl; o != nil {
+		n := len(out)
+		for id := range o.occDelta {
+			if g.baseOcc(id) == 0 {
+				out = append(out, id)
+			}
+		}
+		if len(out) > n {
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 		}
 	}
 	return out
 }
 
 // DomSize returns |dom(G)| without materialising the sorted slice.
-func (g *Graph) DomSize() int { return g.domSize }
+func (g *Graph) DomSize() int {
+	if o := g.ovl; o != nil {
+		return g.domSize + o.domDelta
+	}
+	return g.domSize
+}
 
 // HasIRI reports whether the IRI value occurs anywhere in G.
 func (g *Graph) HasIRI(v string) bool {
 	id, ok := g.dict.LookupIRI(v)
-	return ok && int(id) < len(g.occ) && g.occ[id] > 0
+	if !ok {
+		return false
+	}
+	if int(id) < len(g.occ) && g.occ[id] > 0 {
+		return true
+	}
+	if o := g.ovl; o != nil {
+		return o.occDelta[id] > 0
+	}
+	return false
 }
 
 // Triples returns all triples in a deterministic order.
 func (g *Graph) Triples() []Triple {
-	out := make([]Triple, 0, len(g.all))
+	out := make([]Triple, 0, g.Len())
 	for _, t := range g.all {
 		out = append(out, g.dict.DecodeTriple(t))
+	}
+	if o := g.ovl; o != nil {
+		for _, t := range o.ts {
+			out = append(out, g.dict.DecodeTriple(t))
+		}
 	}
 	SortTriples(out)
 	return out
 }
 
-// TriplesID returns all encoded triples in insertion order. The slice
-// is the graph's internal storage: callers must not modify it.
-func (g *Graph) TriplesID() []IDTriple { return g.all }
+// TriplesID returns all encoded triples in insertion order. Without an
+// overlay the slice is the graph's internal storage and callers must
+// not modify it; with an overlay it is freshly materialised (base
+// followed by overlay — that suffix concatenation is insertion order,
+// see overlay.go).
+func (g *Graph) TriplesID() []IDTriple {
+	if o := g.ovl; o != nil {
+		out := make([]IDTriple, 0, len(g.all)+len(o.ts))
+		out = append(out, g.all...)
+		return append(out, o.ts...)
+	}
+	return g.all
+}
 
 // Match returns all triples of G matching the pattern p under the
 // partial assignment already fixed inside p itself: a position holding
@@ -352,7 +409,11 @@ func (g *Graph) MatchCount(p Triple) int {
 // lengths — no merge is materialised.
 func (g *Graph) MatchCountID(p IDTriple) int {
 	if sg := g.shd; sg != nil && !hasRepeatedVar(p) {
-		return sg.count(p)
+		n := sg.count(p)
+		if o := g.ovl; o != nil {
+			n += o.count(p)
+		}
+		return n
 	}
 	cands, exact := g.LookupRangeID(p)
 	if exact {
@@ -395,6 +456,33 @@ func (g *Graph) LookupRangeID(p IDTriple) ([]IDTriple, bool) {
 // everywhere else the slice is internal storage; either way callers
 // must not modify it.
 func (g *Graph) CandidatesID(p IDTriple) []IDTriple {
+	if o := g.ovl; o != nil && len(o.ts) > 0 {
+		if !p[0].IsVar() && !p[1].IsVar() && !p[2].IsVar() {
+			if g.ContainsID(p) {
+				return []IDTriple{p}
+			}
+			return nil
+		}
+		base := g.baseCandidates(p)
+		ov := o.candidates(p)
+		switch {
+		case len(ov) == 0:
+			return base
+		case len(base) == 0:
+			return ov
+		}
+		// Fresh slice, never append onto base: the base list may alias
+		// a frozen arena whose spare capacity belongs to the next range.
+		// Base-then-overlay is the seq merge — see overlay.go.
+		out := make([]IDTriple, 0, len(base)+len(ov))
+		out = append(out, base...)
+		return append(out, ov...)
+	}
+	return g.baseCandidates(p)
+}
+
+// baseCandidates is CandidatesID against the base storage only.
+func (g *Graph) baseCandidates(p IDTriple) []IDTriple {
 	if sg := g.shd; sg != nil {
 		return sg.candidates(p)
 	}
@@ -477,7 +565,7 @@ func (g *Graph) MatchMappings(p Triple) []Mapping {
 		seen[key] = struct{}{}
 		m := make(Mapping, n)
 		for j := 0; j < n; j++ {
-			m[names[j]] = g.dict.iris[key[j]]
+			m[names[j]] = g.dict.StringOf(key[j])
 		}
 		out = append(out, m)
 	}
@@ -490,7 +578,10 @@ func (g *Graph) String() string { return FormatGraph(g) }
 
 // Clone returns a deep copy of the graph. IDs are preserved: the
 // clone's dictionary assigns the same IDs to the same IRIs, and a
-// frozen graph clones to a frozen graph.
+// frozen graph clones to a frozen graph. An overlay is deep-copied
+// onto the clone's sealed base — posting lists are rebuilt, never
+// shared — so writes to either graph's overlay stay invisible to the
+// other.
 func (g *Graph) Clone() *Graph {
 	out := NewGraph()
 	out.dict = g.dict.Clone()
@@ -504,9 +595,16 @@ func (g *Graph) Clone() *Graph {
 		out.occ = append(out.occ, g.occ...)
 		out.domSize = g.domSize
 		if g.shd != nil {
-			return out.Shard(g.shd.n)
+			out.Shard(g.shd.n)
+		} else {
+			out.Freeze()
 		}
-		return out.Freeze()
+		if o := g.ovl; o != nil {
+			for _, t := range o.ts {
+				out.addDeltaID(t)
+			}
+		}
+		return out
 	}
 	for _, t := range g.all {
 		out.addID(t)
@@ -516,7 +614,7 @@ func (g *Graph) Clone() *Graph {
 
 // Merge adds all triples of h into g.
 func (g *Graph) Merge(h *Graph) {
-	for _, t := range h.all {
+	for _, t := range h.TriplesID() {
 		g.Add(h.dict.DecodeTriple(t))
 	}
 }
@@ -526,7 +624,7 @@ func (g *Graph) Equal(h *Graph) bool {
 	if g.Len() != h.Len() {
 		return false
 	}
-	for _, t := range g.all {
+	for _, t := range g.TriplesID() {
 		if !h.Contains(g.dict.DecodeTriple(t)) {
 			return false
 		}

@@ -24,12 +24,14 @@ const MaxLineLen = 16 << 20 // 16 MiB
 // magic bytes and decompressed transparently, so `wdserve -data g.nt.gz`
 // and a plain file behave identically. It returns the first syntax
 // error encountered, annotated with a line number — including lines
-// longer than MaxLineLen. The graph is bulk-loaded through a
-// GraphBuilder and returned frozen (see Graph.Freeze): cold load is one
-// interning pass plus one compaction, and the result is immediately
-// ready for concurrent readers. Mutating it thaws it.
+// longer than MaxLineLen. Line numbers always count decompressed
+// lines, so an error in a gzipped dump points at the same line as in
+// the plain dump. The graph is bulk-loaded through a GraphBuilder and
+// returned frozen (see Graph.Freeze): cold load is one interning pass
+// plus one compaction, and the result is immediately ready for
+// concurrent readers. Mutating it thaws it.
 func ReadGraph(r io.Reader) (*Graph, error) {
-	return ReadGraphMaxLine(r, MaxLineLen)
+	return readGraph(r, MaxLineLen, nil)
 }
 
 // ReadGraphMaxLine is ReadGraph with an explicit bound on the length
@@ -37,20 +39,86 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 // a robustness guard, not a format limit: any line up to the bound is
 // parsed whole, however large.
 func ReadGraphMaxLine(r io.Reader, maxLine int) (*Graph, error) {
+	return readGraph(r, maxLine, nil)
+}
+
+// ProgressFunc receives load progress: bytes is the cumulative count
+// of raw input bytes consumed from the underlying reader (compressed
+// bytes for gzipped input, and slightly ahead of parsing due to
+// buffering), triples the cumulative count of data lines parsed.
+// Callbacks arrive every progressStride triples and once at the end of
+// input; wdserve's ingest endpoint and the cmd tools use them to
+// report long loads without instrumenting the parse loop themselves.
+type ProgressFunc func(bytes int64, triples int)
+
+// progressStride is how many parsed triples pass between two progress
+// callbacks: frequent enough for responsive reporting, rare enough
+// that the callback never shows up in a load profile.
+const progressStride = 1 << 14
+
+// ReadGraphWithProgress is ReadGraph with a progress callback
+// (progress may be nil).
+func ReadGraphWithProgress(r io.Reader, progress ProgressFunc) (*Graph, error) {
+	return readGraph(r, MaxLineLen, progress)
+}
+
+// countingReader counts raw bytes consumed from the wrapped reader; it
+// sits below the gzip layer so progress reflects input consumed, which
+// is what an operator watching a bounded upload wants to see.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func readGraph(r io.Reader, maxLine int, progress ProgressFunc) (*Graph, error) {
+	b := NewGraphBuilder(0)
+	cr := &countingReader{r: r}
+	triples := 0
+	err := DecodeTriples(cr, maxLine, func(s, p, o string) error {
+		b.AddTriple(s, p, o)
+		triples++
+		if progress != nil && triples%progressStride == 0 {
+			progress(cr.n, triples)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if progress != nil {
+		progress(cr.n, triples)
+	}
+	return b.Graph(), nil
+}
+
+// DecodeTriples streams the ReadGraph format: it parses r (gzip
+// auto-detected) line by line and calls fn once per data triple, in
+// input order, with the bare IRI values of the three positions. A
+// non-nil error from fn aborts the decode and is returned unwrapped.
+// maxLine ≤ 0 means MaxLineLen. This is the single decode loop behind
+// ReadGraph and the parallel ingest pipeline's equivalence tests.
+func DecodeTriples(r io.Reader, maxLine int, fn func(s, p, o string) error) error {
 	if maxLine <= 0 {
 		maxLine = MaxLineLen
 	}
-	b := NewGraphBuilder(0)
 	br := bufio.NewReaderSize(r, 64*1024)
 	// Gzip auto-detection: sniff the two magic bytes without consuming
 	// them (a short Peek just means the input is shorter than a gzip
 	// header, so it cannot be gzip). Corrupt gzip streams surface as
 	// read errors below, never as silent truncation — the gzip reader
-	// checks the trailing CRC before reporting EOF.
+	// checks the trailing CRC before reporting EOF. Line numbers are
+	// counted on the decompressed stream, below this branch, so they
+	// are identical for a dump and its gzipped form.
 	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
 		zr, err := gzip.NewReader(br)
 		if err != nil {
-			return nil, fmt.Errorf("rdf: gzip input: %w", err)
+			return fmt.Errorf("rdf: gzip input: %w", err)
 		}
 		defer zr.Close()
 		br = bufio.NewReaderSize(zr, 64*1024)
@@ -59,37 +127,55 @@ func ReadGraphMaxLine(r io.Reader, maxLine int) (*Graph, error) {
 	for {
 		line, err := readLine(br, maxLine)
 		if err == errLineTooLong {
-			return nil, fmt.Errorf("rdf: line %d: line exceeds %d bytes", lineNo+1, maxLine)
+			return fmt.Errorf("rdf: line %d: line exceeds %d bytes", lineNo+1, maxLine)
 		}
 		if err != nil && err != io.EOF {
-			return nil, fmt.Errorf("rdf: read: %w", err)
+			return fmt.Errorf("rdf: read: %w", err)
 		}
 		if len(line) == 0 && err == io.EOF {
 			break
 		}
 		lineNo++
-		line = strings.TrimSpace(line)
-		if line != "" && !strings.HasPrefix(line, "#") {
-			line = strings.TrimSuffix(line, ".")
-			fields := strings.Fields(line)
-			if len(fields) != 3 {
-				return nil, fmt.Errorf("rdf: line %d: expected 3 terms, got %d", lineNo, len(fields))
+		s, p, o, ok, perr := ParseDataLine(line)
+		if perr != nil {
+			return fmt.Errorf("rdf: line %d: %w", lineNo, perr)
+		}
+		if ok {
+			if ferr := fn(s, p, o); ferr != nil {
+				return ferr
 			}
-			var terms [3]Term
-			for i, f := range fields {
-				t, err := parseDataTerm(f)
-				if err != nil {
-					return nil, fmt.Errorf("rdf: line %d: %w", lineNo, err)
-				}
-				terms[i] = t
-			}
-			b.AddTriple(terms[0].Value, terms[1].Value, terms[2].Value)
 		}
 		if err == io.EOF {
 			break
 		}
 	}
-	return b.Graph(), nil
+	return nil
+}
+
+// ParseDataLine parses one line of the ReadGraph format into the bare
+// IRI values of a triple. ok is false for blank lines and comments.
+// The ingest pipeline's chunk workers call this directly on the lines
+// of their chunk, so the parallel path parses byte-identically to the
+// sequential one.
+func ParseDataLine(line string) (s, p, o string, ok bool, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return "", "", "", false, nil
+	}
+	line = strings.TrimSuffix(line, ".")
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return "", "", "", false, fmt.Errorf("expected 3 terms, got %d", len(fields))
+	}
+	var terms [3]Term
+	for i, f := range fields {
+		t, err := parseDataTerm(f)
+		if err != nil {
+			return "", "", "", false, err
+		}
+		terms[i] = t
+	}
+	return terms[0].Value, terms[1].Value, terms[2].Value, true, nil
 }
 
 // errLineTooLong is readLine's sentinel for a line beyond the bound;

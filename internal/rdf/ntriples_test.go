@@ -149,3 +149,106 @@ func TestReadGraphNotGzip(t *testing.T) {
 		t.Fatalf("near-magic text input: %v, %v", g, err)
 	}
 }
+
+// TestReadGraphGzipLineNumbers pins that syntax errors in gzipped
+// input carry decompressed line numbers: the same broken dump must
+// name the same line whether it arrives plain or gzipped. Line
+// accounting must never derive from the raw (compressed) byte stream.
+func TestReadGraphGzipLineNumbers(t *testing.T) {
+	src := "a p b .\nb p c .\n# comment\n\nbad triple here extra\n"
+	_, plainErr := ReadGraph(strings.NewReader(src))
+	if plainErr == nil || !strings.Contains(plainErr.Error(), "line 5") {
+		t.Fatalf("plain error %v does not name line 5", plainErr)
+	}
+	_, gzErr := ReadGraph(bytes.NewReader(gzipped(t, src)))
+	if gzErr == nil || !strings.Contains(gzErr.Error(), "line 5") {
+		t.Fatalf("gzipped error %v does not name line 5", gzErr)
+	}
+	if plainErr.Error() != gzErr.Error() {
+		t.Fatalf("plain and gzipped errors diverge: %q vs %q", plainErr, gzErr)
+	}
+}
+
+// TestReadGraphWithProgress pins the progress contract: bytes are
+// monotone raw input bytes, the final callback reports the full input
+// size and the exact triple count, for plain and gzipped input alike.
+func TestReadGraphWithProgress(t *testing.T) {
+	var src strings.Builder
+	for i := 0; i < 40000; i++ {
+		fmt.Fprintf(&src, "s%d p o%d .\n", i, i%97)
+	}
+	for _, mode := range []string{"plain", "gzip"} {
+		data := []byte(src.String())
+		if mode == "gzip" {
+			data = gzipped(t, src.String())
+		}
+		var calls int
+		var lastBytes int64
+		var lastTriples int
+		g, err := ReadGraphWithProgress(bytes.NewReader(data), func(b int64, n int) {
+			calls++
+			if b < lastBytes || n < lastTriples {
+				t.Fatalf("%s: progress went backwards: (%d,%d) after (%d,%d)", mode, b, n, lastBytes, lastTriples)
+			}
+			lastBytes, lastTriples = b, n
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if calls < 2 {
+			t.Fatalf("%s: only %d progress callbacks for 40000 triples", mode, calls)
+		}
+		if lastTriples != g.Len() || g.Len() != 40000 {
+			t.Fatalf("%s: final triples %d, graph %d, want 40000", mode, lastTriples, g.Len())
+		}
+		if lastBytes != int64(len(data)) {
+			t.Fatalf("%s: final bytes %d, input is %d", mode, lastBytes, len(data))
+		}
+	}
+}
+
+// TestDecodeTriplesCallbackError pins that an error returned by the
+// callback aborts the decode and is returned unwrapped.
+func TestDecodeTriplesCallbackError(t *testing.T) {
+	sentinel := fmt.Errorf("stop here")
+	seen := 0
+	err := DecodeTriples(strings.NewReader("a p b .\nc p d .\ne p f .\n"), 0, func(s, p, o string) error {
+		seen++
+		if seen == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel || seen != 2 {
+		t.Fatalf("err=%v seen=%d; want the sentinel after 2 triples", err, seen)
+	}
+}
+
+// TestParseDataLine pins the shared line parser the ingest workers use:
+// blank/comment lines are skipped without error, angle brackets are
+// stripped, malformed lines error.
+func TestParseDataLine(t *testing.T) {
+	for _, tc := range []struct {
+		line    string
+		s, p, o string
+		ok      bool
+		wantErr bool
+	}{
+		{"a p b .", "a", "p", "b", true, false},
+		{"<http://x/a> <http://x/p> <http://x/b> .", "http://x/a", "http://x/p", "http://x/b", true, false},
+		{"  a p b  ", "a", "p", "b", true, false},
+		{"", "", "", "", false, false},
+		{"   ", "", "", "", false, false},
+		{"# comment", "", "", "", false, false},
+		{"a p", "", "", "", false, true},
+		{"a p b c .", "", "", "", false, true},
+		{"?v p b .", "", "", "", false, true},
+		{"<unterminated p b .", "", "", "", false, true},
+	} {
+		s, p, o, ok, err := ParseDataLine(tc.line)
+		if (err != nil) != tc.wantErr || ok != tc.ok || s != tc.s || p != tc.p || o != tc.o {
+			t.Fatalf("ParseDataLine(%q) = (%q,%q,%q,%v,%v), want (%q,%q,%q,%v,err=%v)",
+				tc.line, s, p, o, ok, err, tc.s, tc.p, tc.o, tc.ok, tc.wantErr)
+		}
+	}
+}

@@ -406,7 +406,11 @@ func (g *Graph) Shard(n int) *Graph {
 	if n < 1 {
 		panic("rdf: Shard: shard count must be ≥ 1")
 	}
-	if g.shd != nil && g.shd.n == n {
+	if g.ovl != nil {
+		// Fold the overlay into a fresh base before partitioning; the
+		// same-shard-count early return must not fire on a stale view.
+		g.foldOverlay()
+	} else if g.shd != nil && g.shd.n == n {
 		return g
 	}
 	g.shd = shardGraph(g, n)

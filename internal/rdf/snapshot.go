@@ -211,14 +211,15 @@ func encodeHeader(h snapHeader) [snapHeaderLen]byte {
 // concatenated blob. Variables are never serialised: variable IDs are
 // per-process scratch minted by the solvers, not graph state.
 func dictSections(d *Dict) []snapSection {
-	offs := make([]uint64, len(d.iris)+1)
+	iris := d.irisAll() // chain-aware: a forked dict serialises parent prefix + extension
+	offs := make([]uint64, len(iris)+1)
 	total := 0
-	for i, s := range d.iris {
+	for i, s := range iris {
 		total += len(s)
 		offs[i+1] = uint64(total)
 	}
 	blob := make([]byte, 0, total)
-	for _, s := range d.iris {
+	for _, s := range iris {
 		blob = append(blob, s...)
 	}
 	return []snapSection{
@@ -306,6 +307,9 @@ func snapshotSections(g *Graph) (kind uint8, shards uint32, secs []snapSection, 
 // be sealed (frozen or sharded); WriteSnapshot freezes an unsealed
 // graph first, since only sealed arenas have a flat representation.
 func (g *Graph) WriteSnapshot(path string) error {
+	if g.ovl != nil {
+		g.Compact() // only a sealed base has a flat representation; fold the write layer first
+	}
 	if g.frz == nil && g.shd == nil {
 		g.Freeze()
 	}

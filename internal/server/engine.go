@@ -54,6 +54,38 @@ func SnapshotStatsOf(info wdsparql.SnapshotInfo) *SnapshotStats {
 	}
 }
 
+// refCloser shares one backing Closer among several engine
+// generations. The live-write path (POST /ingest) derives new
+// generations from the current one; when the base engine was loaded
+// from an mmapped snapshot, every derived generation still reads the
+// snapshot's arenas through the shared sealed base, so the mmap must
+// outlive them all. Each generation holds one reference; the
+// underlying Closer fires when the last reference closes.
+type refCloser struct {
+	c io.Closer
+	n atomic.Int64
+}
+
+func newRefCloser(c io.Closer) *refCloser {
+	rc := &refCloser{c: c}
+	rc.n.Store(1)
+	return rc
+}
+
+// retain adds a reference and returns the receiver, for handing to a
+// derived generation.
+func (rc *refCloser) retain() *refCloser {
+	rc.n.Add(1)
+	return rc
+}
+
+func (rc *refCloser) Close() error {
+	if rc.n.Add(-1) == 0 {
+		return rc.c.Close()
+	}
+	return nil
+}
+
 // engineState is one generation of the serving engine. refs counts the
 // holder's own reference plus one per request currently using it; the
 // closer fires when the count reaches zero.
@@ -90,6 +122,17 @@ func (st *engineState) release() {
 	if st.refs.Add(-1) == 0 && st.closer != nil {
 		_ = st.closer.Close()
 	}
+}
+
+// derive wraps a new engine generation built from this one (by
+// ApplyDelta or Refreeze) in its own engineState, sharing the snapshot
+// identity and a retained reference to the shared backing closer.
+func (st *engineState) derive(eng *wdsparql.Engine) *engineState {
+	var c io.Closer
+	if rc, ok := st.closer.(*refCloser); ok {
+		c = rc.retain()
+	}
+	return newEngineState(eng, st.snap, c)
 }
 
 // dict gives the response encoders this generation's decode dictionary.
@@ -131,8 +174,14 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		s.unavailable(w, "draining")
 		return
 	}
-	s.reloadMu.Lock()
-	defer s.reloadMu.Unlock()
+	// One writer at a time: a reload racing a live ingest would tear
+	// half-applied batches out from under the stream. The loser backs
+	// off instead of queueing (TryLock) — an ingest can run for minutes.
+	if !s.mutMu.TryLock() {
+		s.unavailable(w, "writer busy (ingest or reload in progress)")
+		return
+	}
+	defer s.mutMu.Unlock()
 
 	eng, snap, closer, err := s.cfg.Reload()
 	if err != nil {
@@ -140,6 +189,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		s.replyError(w, &httpError{code: http.StatusInternalServerError,
 			msg: fmt.Sprintf("reload failed; still serving the previous snapshot: %v", err)})
 		return
+	}
+	if closer != nil {
+		closer = newRefCloser(closer)
 	}
 	next := newEngineState(eng, snap, closer)
 	old := s.cur.Swap(next)

@@ -79,6 +79,11 @@ type Config struct {
 
 	// Request reading.
 	MaxQueryBytes int64 // bound on a POSTed query body (default 1 MiB)
+
+	// Live ingest (POST /ingest; see ingest.go).
+	IngestBatch    int   // triples per atomically applied batch (default 5000)
+	RefreezeAt     int   // overlay size that triggers a re-freeze (default 50000; < 0 disables)
+	MaxIngestBytes int64 // bound on a POSTed ingest body (default 1 GiB)
 }
 
 const (
@@ -90,6 +95,9 @@ const (
 	defaultWriteTimeout   = 15 * time.Second
 	defaultFlushEvery     = 256
 	defaultMaxQueryBytes  = 1 << 20
+	defaultIngestBatch    = 5000
+	defaultRefreezeAt     = 50000
+	defaultMaxIngestBytes = 1 << 30
 )
 
 func (c *Config) withDefaults() Config {
@@ -124,6 +132,15 @@ func (c *Config) withDefaults() Config {
 	if cfg.MaxQueryBytes <= 0 {
 		cfg.MaxQueryBytes = defaultMaxQueryBytes
 	}
+	if cfg.IngestBatch <= 0 {
+		cfg.IngestBatch = defaultIngestBatch
+	}
+	if cfg.RefreezeAt == 0 {
+		cfg.RefreezeAt = defaultRefreezeAt
+	}
+	if cfg.MaxIngestBytes <= 0 {
+		cfg.MaxIngestBytes = defaultMaxIngestBytes
+	}
 	return cfg
 }
 
@@ -140,10 +157,10 @@ type Server struct {
 	baseCancel context.CancelFunc
 
 	draining atomic.Bool
-	inflight sync.WaitGroup // running /sparql handlers
+	inflight sync.WaitGroup // running /sparql and /ingest handlers
 	started  time.Time
 	stopOnce sync.Once  // drops the holder's engine reference at Shutdown
-	reloadMu sync.Mutex // serialises POST /reload
+	mutMu    sync.Mutex // the single writer lock: serialises /reload and /ingest
 
 	// Serving counters, exposed by /stats.
 	queries      atomic.Uint64 // admitted query executions
@@ -157,6 +174,12 @@ type Server struct {
 	reloadFails  atomic.Uint64 // POST /reload attempts that kept the old engine
 	inFlight     atomic.Int64
 	peakInFlight atomic.Int64
+
+	// Live-ingest counters (POST /ingest, see ingest.go).
+	ingestBatches atomic.Uint64 // delta batches applied (each one atomic)
+	ingestTriples atomic.Uint64 // triples actually added (duplicates excluded)
+	refreezes     atomic.Uint64 // overlay compactions swapped in
+	refreezeFails atomic.Uint64 // re-freeze attempts that kept the overlay
 
 	// hookBeforeStream, when set, runs inside the per-request panic
 	// guard just before streaming starts — the test seam for panic
@@ -178,12 +201,20 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
-	s.cur.Store(newEngineState(cfg.Engine, cfg.Snapshot, cfg.Closer))
+	// The snapshot backing (if any) is shared by every generation the
+	// live-write path derives from this one, so it closes only when the
+	// last generation referencing it retires — hence the refcount.
+	var closer io.Closer
+	if cfg.Closer != nil {
+		closer = newRefCloser(cfg.Closer)
+	}
+	s.cur.Store(newEngineState(cfg.Engine, cfg.Snapshot, closer))
 	s.mux.HandleFunc("/sparql", s.handleSparql)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/reload", s.handleReload)
+	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.http = &http.Server{
 		Handler: s.mux,
@@ -295,6 +326,19 @@ type Stats struct {
 	Snapshot       *SnapshotStats `json:"snapshot,omitempty"`
 	Reloads        uint64         `json:"reloads"`
 	ReloadFailures uint64         `json:"reload_failures"`
+
+	// Live ingest: the POST /ingest counters and the size of the
+	// current generation's mutable overlay.
+	Ingest IngestStats `json:"ingest"`
+}
+
+// IngestStats is the /stats "ingest" section.
+type IngestStats struct {
+	Batches          uint64 `json:"batches"`
+	TriplesApplied   uint64 `json:"triples_applied"`
+	OverlaySize      int    `json:"overlay_size"`
+	Refreezes        uint64 `json:"refreezes"`
+	RefreezeFailures uint64 `json:"refreeze_failures"`
 }
 
 // snapshot assembles the current Stats.
@@ -317,6 +361,12 @@ func (s *Server) snapshot() Stats {
 		WriteStalls:    s.writeStalls.Load(),
 		Reloads:        s.reloads.Load(),
 		ReloadFailures: s.reloadFails.Load(),
+		Ingest: IngestStats{
+			Batches:          s.ingestBatches.Load(),
+			TriplesApplied:   s.ingestTriples.Load(),
+			Refreezes:        s.refreezes.Load(),
+			RefreezeFailures: s.refreezeFails.Load(),
+		},
 	}
 	// The data-shape section reads the current engine generation, held
 	// for the duration of the read so a concurrent reload cannot close
@@ -336,6 +386,7 @@ func (s *Server) snapshot() Stats {
 		st.Backend = "frozen"
 	}
 	st.Triples = g.Len()
+	st.Ingest.OverlaySize = g.OverlayLen()
 	st.QueryCache = eng.eng.QueryCacheStats()
 	st.Snapshot = eng.snap
 	return st
