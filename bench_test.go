@@ -788,3 +788,49 @@ func BenchmarkE15Ingest(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkE16Planner measures the compile-time query planner through
+// the public engine on the E9/E10 workload: the ordered enumeration
+// (planner on runs the complete-dead-detection planned mode, stream
+// byte-identical to planner off) and the order-free Count (planner on
+// runs strict plan-following). The wdbench E16 table carries the
+// search-node and probe counters; this benchmark tracks the wall-time
+// side under `go test -bench`.
+func BenchmarkE16Planner(b *testing.B) {
+	g := bench.E9Data(4096)
+	ctx := context.Background()
+	for _, cfg := range []struct {
+		name string
+		opts []wdsparql.Option
+	}{
+		{"on", nil},
+		{"off", []wdsparql.Option{wdsparql.WithPlanner(false)}},
+	} {
+		q, err := wdsparql.NewEngine(g, cfg.opts...).PrepareText(bench.E10PatternText)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("enum/planner-"+cfg.name, func(b *testing.B) {
+			want := -1
+			for i := 0; i < b.N; i++ {
+				n := 0
+				for range q.Rows(ctx) {
+					n++
+				}
+				if want == -1 {
+					want = n
+				} else if n != want {
+					b.Fatalf("row count changed: %d vs %d", n, want)
+				}
+			}
+			b.ReportMetric(float64(want), "rows")
+		})
+		b.Run("count/planner-"+cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Count(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -10,12 +10,16 @@
 // applied as live deltas on the mutable overlay) — and the full row
 // streams are diffed byte for byte (content AND order), so a
 // backend that returns the right set in the wrong order fails a trial.
-// Any disagreement is printed with a reproducible seed and the process
+// With -planner (the default) each trial additionally diffs the query
+// planner's search modes on every backend: the planned mode must
+// reproduce the heuristic row stream byte for byte, and the strict
+// plan-following mode must agree on the solution count. Any
+// disagreement is printed with a reproducible seed and the process
 // exits non-zero.
 //
 // Usage:
 //
-//	wdfuzz [-trials 1000] [-seed 1] [-union] [-depth 3] [-shards 1,2,7]
+//	wdfuzz [-trials 1000] [-seed 1] [-union] [-depth 3] [-shards 1,2,7] [-planner]
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"wdsparql/internal/bench"
 	"wdsparql/internal/core"
 	"wdsparql/internal/gen"
+	"wdsparql/internal/hom"
 	"wdsparql/internal/ptree"
 	"wdsparql/internal/rdf"
 	"wdsparql/internal/sparql"
@@ -39,6 +44,7 @@ func main() {
 	union := flag.Bool("union", false, "generate top-level UNION patterns")
 	depth := flag.Int("depth", 3, "operator tree depth")
 	shards := flag.String("shards", "1,2,7", "comma-separated shard counts for the sharded backend")
+	planner := flag.Bool("planner", true, "diff planner modes (heuristic vs planned stream, strict count) per trial")
 	flag.Parse()
 
 	counts, err := bench.ParseShardCounts(*shards)
@@ -55,7 +61,7 @@ func main() {
 			os.Exit(2)
 		}
 		g := randomGraph(rng)
-		if !checkTrial(trial, p, g, counts) {
+		if !checkTrial(trial, p, g, counts, *planner) {
 			failures++
 			if failures >= 5 {
 				break
@@ -122,7 +128,18 @@ func overlayTwin(g *rdf.Graph, shards int) *rdf.Graph {
 	return og
 }
 
-func checkTrial(trial int, p sparql.Pattern, g *rdf.Graph, shardCounts []int) bool {
+// collectTuned materialises the row stream of an already-compiled
+// program under one search mode.
+func collectTuned(fp *core.ForestProgram, mode hom.SearchMode) []rdf.Row {
+	var out []rdf.Row
+	fp.Tuned(mode, 0, nil).Rows(func(r rdf.Row) bool {
+		out = append(out, r.Clone())
+		return true
+	})
+	return out
+}
+
+func checkTrial(trial int, p sparql.Pattern, g *rdf.Graph, shardCounts []int, planner bool) bool {
 	report := func(format string, args ...interface{}) bool {
 		fmt.Fprintf(os.Stderr, "trial %d FAILED: %s\npattern: %s\ndata:\n%s",
 			trial, fmt.Sprintf(format, args...), p, rdf.FormatGraph(g))
@@ -178,6 +195,34 @@ func checkTrial(trial int, p sparql.Pattern, g *rdf.Graph, shardCounts []int) bo
 		for i := range want {
 			if !slices.Equal(got[i], want[i]) {
 				return report("%s stream diverges at row %d: %v vs %v", b.name, i, got[i], want[i])
+			}
+		}
+	}
+	// Planner dimension: on every backend, the planned mode must
+	// reproduce the heuristic stream byte for byte (the determinism
+	// contract behind WithPlanner), and the strict plan-following mode
+	// — order-free by design — must agree on the cardinality.
+	if planner {
+		all := append([]struct {
+			name string
+			g    *rdf.Graph
+		}{{"map", g}}, backends...)
+		for _, b := range all {
+			fp := core.CompileForest(f, b.g)
+			heur := collectTuned(fp, hom.ModeHeuristic)
+			planned := collectTuned(fp, hom.ModePlanned)
+			if len(planned) != len(heur) {
+				return report("%s planner stream has %d rows, heuristic has %d", b.name, len(planned), len(heur))
+			}
+			for i := range heur {
+				if !slices.Equal(planned[i], heur[i]) {
+					return report("%s planner stream diverges at row %d: %v vs %v", b.name, i, planned[i], heur[i])
+				}
+			}
+			n := 0
+			fp.Tuned(hom.ModeStrict, 0, nil).Rows(func(rdf.Row) bool { n++; return true })
+			if n != len(heur) {
+				return report("%s strict-mode count %d, heuristic stream has %d rows", b.name, n, len(heur))
 			}
 		}
 	}

@@ -10,7 +10,9 @@
 //
 // With -mu the command decides wdEVAL for one mapping; without it the
 // solution stream is printed (windowed by -limit/-offset, parallelised
-// by -workers, over sharded storage with -shards N). The -algo flag selects between the natural algorithm
+// by -workers, over sharded storage with -shards N). -explain prints
+// the compiled join order as JSON instead of executing (-planner=false
+// ablates the statistics-driven ordering). The -algo flag selects between the natural algorithm
 // ("naive"), the Theorem 1 pebble algorithm ("pebble", with -k the
 // domination-width bound) and the compositional reference semantics
 // ("compositional"); "topdown" forces the enumeration-based check.
@@ -18,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +44,8 @@ func main() {
 	workers := flag.Int("workers", 1, "enumeration worker-pool size")
 	shards := flag.Int("shards", 1, "storage shard count (≥ 2 shards the graph by subject hash)")
 	stats := flag.Bool("stats", false, "print data statistics and evaluation counters")
+	explain := flag.Bool("explain", false, "print the compiled query plan as JSON and exit")
+	planner := flag.Bool("planner", true, "use the compile-time join-order planner")
 	flag.Parse()
 
 	if *query == "" || *dataPath == "" {
@@ -71,7 +76,8 @@ func main() {
 	}
 	engine := wdsparql.NewEngine(g,
 		wdsparql.WithAlgorithm(alg), wdsparql.WithPebbleK(*k),
-		wdsparql.WithWorkers(*workers), wdsparql.WithShards(*shards))
+		wdsparql.WithWorkers(*workers), wdsparql.WithShards(*shards),
+		wdsparql.WithPlanner(*planner))
 
 	if *stats {
 		backend := "map"
@@ -88,6 +94,14 @@ func main() {
 		fatal(err)
 	}
 
+	if *explain {
+		out, err := json.MarshalIndent(q.Explain(), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
 	if *muArg == "" {
 		printSolutions(ctx, q, g, *algo, *limit, *offset)
 		return

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"wdsparql/internal/core"
+	"wdsparql/internal/hom"
 	"wdsparql/internal/ptree"
 	"wdsparql/internal/rdf"
 	"wdsparql/internal/sparql"
@@ -57,6 +58,8 @@ type Engine struct {
 	pebbleK int
 	workers int
 	shards  int
+	planner bool
+	slack   int
 
 	qcacheCap int
 	qcache    *lruCache[*PreparedQuery] // nil when WithQueryCache is off
@@ -88,6 +91,21 @@ func WithWorkers(n int) Option { return func(e *Engine) { e.workers = n } }
 // cache (the default).
 func WithQueryCache(n int) Option { return func(e *Engine) { e.qcacheCap = n } }
 
+// WithPlanner turns the compile-time query planner on or off for the
+// whole engine (default on); the per-call Planner ExecOption overrides
+// it. With the planner on, ordered executions (Rows, Select, All) run
+// with complete dead-branch detection — streams stay byte-identical to
+// planner-off, never fewer nor reordered rows, by the mode contract in
+// internal/hom — and order-free executions (Count) follow the compiled
+// join order with one count probe per search node.
+func WithPlanner(on bool) Option { return func(e *Engine) { e.planner = on } }
+
+// WithPlannerSlack sets the planner's adaptive escape hatch: an
+// order-following search node re-scores all remaining patterns when
+// the actual candidate count exceeds slack × max(1, estimate). k ≤ 0
+// selects the default (hom.DefaultSlack).
+func WithPlannerSlack(k int) Option { return func(e *Engine) { e.slack = k } }
+
 // WithShards seals the engine's graph into the sharded storage backend
 // with n shards (rdf.Graph.Shard) instead of the single-arena frozen
 // backend: triples partition by subject hash, each shard is its own
@@ -113,7 +131,7 @@ func NewEngine(g *Graph, opts ...Option) *Engine {
 	if g == nil {
 		g = rdf.NewGraph()
 	}
-	e := &Engine{g: g, alg: core.AlgNaive, pebbleK: 1, workers: 1}
+	e := &Engine{g: g, alg: core.AlgNaive, pebbleK: 1, workers: 1, planner: true}
 	for _, o := range opts {
 		o(e)
 	}
@@ -320,7 +338,13 @@ type execConfig struct {
 	limit   int // < 0: unlimited
 	offset  int
 	workers int
+	planner int8 // 0: engine default, plannerOn / plannerOff: forced
 }
+
+const (
+	plannerOn  int8 = 1
+	plannerOff int8 = 2
+)
 
 // Limit caps the number of solutions streamed (or materialised) by the
 // call; the enumeration stops as soon as the cap is reached. Limit(0)
@@ -331,6 +355,19 @@ func Limit(n int) ExecOption { return func(c *execConfig) { c.limit = n } }
 // Limit this is the classic pagination pair: the stream still stops
 // early after offset+limit solutions, never materialising the rest.
 func Offset(n int) ExecOption { return func(c *execConfig) { c.offset = n } }
+
+// Planner overrides the engine-wide WithPlanner setting for this call.
+// The row stream is identical either way (the determinism contract);
+// only the search effort changes.
+func Planner(on bool) ExecOption {
+	return func(c *execConfig) {
+		if on {
+			c.planner = plannerOn
+		} else {
+			c.planner = plannerOff
+		}
+	}
+}
 
 // Parallel runs the enumeration on a pool of n workers, partitioned
 // across root-homomorphism rows. The stream is identical to the
@@ -346,13 +383,38 @@ func (q *PreparedQuery) config(opts []ExecOption) execConfig {
 	return cfg
 }
 
+// tunedProg resolves the execution's search mode from the engine-wide
+// planner setting and the per-call override. Ordered executions run
+// ModePlanned (stream byte-identical to the heuristic); order-free
+// ones — Count, whose result is invariant under enumeration order
+// even through Limit/Offset windowing — may follow the compiled order
+// literally (ModeStrict).
+func (q *PreparedQuery) tunedProg(cfg execConfig, orderFree bool) *core.ForestProgram {
+	on := q.eng.planner
+	switch cfg.planner {
+	case plannerOn:
+		on = true
+	case plannerOff:
+		on = false
+	}
+	switch {
+	case !on:
+		return q.prog // zero tuning: the heuristic pre-planner search
+	case orderFree:
+		return q.prog.Tuned(hom.ModeStrict, q.eng.slack, nil)
+	default:
+		return q.prog.Tuned(hom.ModePlanned, q.eng.slack, nil)
+	}
+}
+
 // stream drives one execution: Limit/Offset windowing over the
 // early-terminating row iterator, sequential or parallel. The returned
 // error is ctx.Err() — nil unless the context ended the stream.
-func (q *PreparedQuery) stream(ctx context.Context, cfg execConfig, yield func(rdf.Row) bool) error {
+func (q *PreparedQuery) stream(ctx context.Context, cfg execConfig, orderFree bool, yield func(rdf.Row) bool) error {
 	if cfg.limit == 0 {
 		return ctx.Err()
 	}
+	prog := q.tunedProg(cfg, orderFree)
 	skip, remaining := cfg.offset, cfg.limit
 	emit := func(r rdf.Row) bool {
 		if skip > 0 {
@@ -371,9 +433,9 @@ func (q *PreparedQuery) stream(ctx context.Context, cfg execConfig, yield func(r
 		return true
 	}
 	if cfg.workers > 1 {
-		return q.prog.RowsParallel(ctx, cfg.workers, emit)
+		return prog.RowsParallel(ctx, cfg.workers, emit)
 	}
-	return q.prog.RowsContext(ctx, emit)
+	return prog.RowsContext(ctx, emit)
 }
 
 // Rows streams ⟦P⟧G as ID-native rows — the zero-decode tier for hot
@@ -387,7 +449,7 @@ func (q *PreparedQuery) stream(ctx context.Context, cfg execConfig, yield func(r
 func (q *PreparedQuery) Rows(ctx context.Context, opts ...ExecOption) iter.Seq[Row] {
 	cfg := q.config(opts)
 	return func(yield func(Row) bool) {
-		q.stream(ctx, cfg, func(r rdf.Row) bool { return yield(r) })
+		q.stream(ctx, cfg, false, func(r rdf.Row) bool { return yield(r) })
 	}
 }
 
@@ -400,7 +462,7 @@ func (q *PreparedQuery) Select(ctx context.Context, opts ...ExecOption) iter.Seq
 	return func(yield func(Mapping) bool) {
 		d := q.eng.g.Dict()
 		layout := q.prog.Layout()
-		q.stream(ctx, cfg, func(r rdf.Row) bool {
+		q.stream(ctx, cfg, false, func(r rdf.Row) bool {
 			return yield(layout.DecodeRow(d, r))
 		})
 	}
@@ -410,7 +472,7 @@ func (q *PreparedQuery) Select(ctx context.Context, opts ...ExecOption) iter.Seq
 // decoding or materialising any solution.
 func (q *PreparedQuery) Count(ctx context.Context, opts ...ExecOption) (int, error) {
 	n := 0
-	err := q.stream(ctx, q.config(opts), func(rdf.Row) bool {
+	err := q.stream(ctx, q.config(opts), true, func(rdf.Row) bool {
 		n++
 		return true
 	})
@@ -426,7 +488,7 @@ func (q *PreparedQuery) All(ctx context.Context, opts ...ExecOption) (*MappingSe
 	out := rdf.NewMappingSet()
 	d := q.eng.g.Dict()
 	layout := q.prog.Layout()
-	err := q.stream(ctx, q.config(opts), func(r rdf.Row) bool {
+	err := q.stream(ctx, q.config(opts), false, func(r rdf.Row) bool {
 		out.Add(layout.DecodeRow(d, r))
 		return true
 	})

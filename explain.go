@@ -1,0 +1,67 @@
+package wdsparql
+
+// Explain: the observability surface of the compile-time query
+// planner. A prepared query can dump, as plain JSON-taggable structs,
+// the pattern order the planner chose per wdPT node, the per-step
+// cardinality estimates it chose them by, and the index shape each
+// step probes. wdsparql -explain and wdserve's /sparql?explain=1 both
+// serialise exactly this.
+
+import "wdsparql/internal/core"
+
+// PlanStep is one step of a node's planned pattern order.
+type PlanStep struct {
+	// Pattern is the triple pattern in SPARQL-ish text.
+	Pattern string `json:"pattern"`
+	// Index is the pattern's position in the node's original list.
+	Index int `json:"index"`
+	// Est is the planner's cardinality estimate for this step given
+	// the slots bound by earlier steps and ancestor nodes.
+	Est float64 `json:"est"`
+	// Base is the exact posting-list cardinality of the pattern's
+	// constants-only skeleton, straight off the CSR offsets.
+	Base int `json:"base"`
+	// Side names the index shape probed once the promised slots are
+	// bound: the bound positions among "S", "P", "O", or "scan".
+	Side string `json:"side"`
+}
+
+// PlanNode is the plan of one wdPT node: its patterns in source order
+// plus the planned execution order.
+type PlanNode struct {
+	Patterns []string    `json:"patterns"`
+	Order    []PlanStep  `json:"order,omitempty"`
+	Children []*PlanNode `json:"children,omitempty"`
+}
+
+// QueryPlan is the full explain output of a prepared query: one plan
+// tree per tree of the wdPF, plus whether the engine executes with the
+// planner on.
+type QueryPlan struct {
+	Planner bool        `json:"planner"`
+	Trees   []*PlanNode `json:"trees"`
+}
+
+// Explain returns the compile-time query plan of the prepared query.
+// The plan is purely informational: executions with the planner off
+// (or with the Planner ExecOption) yield the identical row stream.
+func (q *PreparedQuery) Explain() *QueryPlan {
+	qp := &QueryPlan{Planner: q.eng.planner}
+	for _, en := range q.prog.Explain() {
+		qp.Trees = append(qp.Trees, planNodeOf(en))
+	}
+	return qp
+}
+
+func planNodeOf(en *core.ExplainNode) *PlanNode {
+	pn := &PlanNode{Patterns: en.Patterns}
+	for _, st := range en.Order {
+		pn.Order = append(pn.Order, PlanStep{
+			Pattern: st.Pattern, Index: st.Index, Est: st.Est, Base: st.Base, Side: st.Side,
+		})
+	}
+	for _, c := range en.Children {
+		pn.Children = append(pn.Children, planNodeOf(c))
+	}
+	return pn
+}

@@ -760,7 +760,7 @@ func ParseShardCounts(s string) ([]int, error) {
 	return out, nil
 }
 
-// Experiments returns the E1..E15 suite as lazily-run experiments.
+// Experiments returns the E1..E16 suite as lazily-run experiments.
 // shardCounts parameterises the E12 shard-scaling sweep (wdbench
 // -shards); when omitted it defaults to 1, 2 and 4.
 func Experiments(full bool, workers int, shardCounts ...int) []Experiment {
@@ -770,10 +770,12 @@ func Experiments(full bool, workers int, shardCounts ...int) []Experiment {
 	e3Max := 6
 	e13PerClient := 4
 	e14Ns := []int{4096, 16384}
+	e16N := 2048
 	if full {
 		e3Max = 7
 		e13PerClient = 16
 		e14Ns = append(e14Ns, 65536)
+		e16N = 8192
 	}
 	return []Experiment{
 		{"E1", func() *Table { return E1CoreTreewidth(7) }},
@@ -791,6 +793,7 @@ func Experiments(full bool, workers int, shardCounts ...int) []Experiment {
 		{"E13", func() *Table { return E13Serving(128, e13PerClient, workers, []int{1, 4, 16}, 8, 64) }},
 		{"E14", func() *Table { return E14SnapshotColdStart(e14Ns) }},
 		{"E15", func() *Table { return E15Ingest(e14Ns, workers) }},
+		{"E16", func() *Table { return E16Planner(e16N, 4) }},
 	}
 }
 

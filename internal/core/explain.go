@@ -1,0 +1,64 @@
+package core
+
+// Explain renders a compiled forest's query plans for observability:
+// one node per wdPT node, carrying the node's patterns in compiled
+// (original) order plus the planner's chosen execution order with
+// per-step cardinality estimates and probe sides. The structs are
+// plain data with JSON tags so every surface (PreparedQuery.Explain,
+// wdsparql -explain, wdserve ?explain=1) serialises them unchanged.
+
+// ExplainStep is one step of a node's planned pattern order.
+type ExplainStep struct {
+	// Pattern is the triple pattern in SPARQL-ish text.
+	Pattern string `json:"pattern"`
+	// Index is the pattern's position in the node's original list.
+	Index int `json:"index"`
+	// Est is the planner's cardinality estimate for this step, given
+	// the slots bound by earlier steps and ancestor nodes.
+	Est float64 `json:"est"`
+	// Base is the exact posting-list cardinality of the pattern's
+	// constants-only skeleton.
+	Base int `json:"base"`
+	// Side names the index shape probed once the promised slots are
+	// bound ("SP", "PO", ..., "scan").
+	Side string `json:"side"`
+}
+
+// ExplainNode is one wdPT node of the explain tree.
+type ExplainNode struct {
+	Patterns []string       `json:"patterns"`
+	Order    []ExplainStep  `json:"order,omitempty"`
+	Children []*ExplainNode `json:"children,omitempty"`
+}
+
+// Explain returns the plan trees of the compiled forest, one per tree
+// root, in forest order.
+func (fp *ForestProgram) Explain() []*ExplainNode {
+	out := make([]*ExplainNode, 0, len(fp.roots))
+	for _, r := range fp.roots {
+		out = append(out, fp.explainNode(r))
+	}
+	return out
+}
+
+func (fp *ForestProgram) explainNode(cn *compiledNode) *ExplainNode {
+	en := &ExplainNode{}
+	for i := 0; i < cn.prog.NumPatterns(); i++ {
+		en.Patterns = append(en.Patterns, cn.prog.RenderPattern(i, fp.layout))
+	}
+	if pl := cn.prog.Plan(); pl != nil {
+		for _, st := range pl.Steps {
+			en.Order = append(en.Order, ExplainStep{
+				Pattern: cn.prog.RenderPattern(st.Pat, fp.layout),
+				Index:   st.Pat,
+				Est:     st.Est,
+				Base:    st.Base,
+				Side:    st.Side,
+			})
+		}
+	}
+	for _, c := range cn.children {
+		en.Children = append(en.Children, fp.explainNode(c))
+	}
+	return en
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"slices"
 	"sort"
 	"sync"
 
@@ -43,6 +44,27 @@ type ForestProgram struct {
 	layout *rdf.SlotLayout
 	roots  []*compiledNode
 	nodes  int
+
+	// Per-execution search tuning, attached to every searcher a state
+	// creates; set through Tuned, zero values mean the heuristic
+	// pre-planner behaviour. One execution uses one mode for all its
+	// searchers — the SplitTop/RunOn consistency the parallel
+	// enumeration needs.
+	mode  hom.SearchMode
+	slack int
+	stats *hom.SearchStats
+}
+
+// Tuned returns a view of the program with the given search tuning:
+// pattern-selection mode, strict-mode slack factor (≤ 0 selects the
+// default) and optional effort counters (sequential executions only —
+// the counters are unsynchronised). The view shares all compiled
+// state with fp; compiling once and tuning per execution is the
+// intended pattern.
+func (fp *ForestProgram) Tuned(mode hom.SearchMode, slack int, stats *hom.SearchStats) *ForestProgram {
+	out := *fp
+	out.mode, out.slack, out.stats = mode, slack, stats
+	return &out
 }
 
 // CompileForest compiles every tree of the forest against the graph,
@@ -51,7 +73,7 @@ type ForestProgram struct {
 func CompileForest(f ptree.Forest, g *rdf.Graph) *ForestProgram {
 	fp := &ForestProgram{g: g, layout: rdf.NewSlotLayout()}
 	for _, t := range f {
-		fp.roots = append(fp.roots, fp.compileNode(t.Root))
+		fp.roots = append(fp.roots, fp.compileNode(t.Root, nil))
 	}
 	return fp
 }
@@ -61,18 +83,38 @@ func CompileTree(t *ptree.Tree, g *rdf.Graph) *ForestProgram {
 	return CompileForest(ptree.Forest{t}, g)
 }
 
-func (fp *ForestProgram) compileNode(n *ptree.Node) *compiledNode {
+// compileNode compiles one wdPT node. entry lists the layout slots
+// bound before any search of this node starts — the accumulated
+// ancestor variables — which seed the node's compile-time join plan.
+func (fp *ForestProgram) compileNode(n *ptree.Node, entry []int32) *compiledNode {
 	cn := &compiledNode{
 		idx:  fp.nodes,
-		prog: hom.CompileRowProgram(n.Pattern, fp.g, fp.layout),
+		prog: hom.CompileRowProgramPlanned(n.Pattern, fp.g, fp.layout, entry),
 	}
 	fp.nodes++
 	slots := map[int32]bool{}
 	for _, v := range n.Vars() {
 		slots[int32(fp.layout.Intern(v.Value))] = true
 	}
+	// Entry-bound slots of the children: everything bound on arrival
+	// here plus this node's own variables. Well-designedness makes
+	// this exact — a variable shared between a child's subtree and
+	// anything outside it (an ancestor or an earlier sibling's
+	// subtree) must occur at this node or above, so accumulating down
+	// the tree captures every slot a child's search can see bound.
+	childEntry := entry
+	if len(slots) > 0 {
+		own := make([]int32, 0, len(slots))
+		for s := range slots {
+			if !slices.Contains(entry, s) {
+				own = append(own, s)
+			}
+		}
+		slices.Sort(own)
+		childEntry = append(append(make([]int32, 0, len(entry)+len(own)), entry...), own...)
+	}
 	for _, c := range n.Children {
-		cc := fp.compileNode(c)
+		cc := fp.compileNode(c, childEntry)
 		cn.children = append(cn.children, cc)
 		for _, s := range cc.subSlots {
 			slots[s] = true
@@ -123,6 +165,7 @@ func (fp *ForestProgram) newState() *enumState {
 	var walk func(n *compiledNode)
 	walk = func(n *compiledNode) {
 		st.searchers[n.idx] = n.prog.NewSearcher()
+		st.searchers[n.idx].Tune(fp.mode, fp.slack, fp.stats)
 		for _, c := range n.children {
 			walk(c)
 		}

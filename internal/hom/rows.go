@@ -1,6 +1,7 @@
 package hom
 
 import (
+	"wdsparql/internal/plan"
 	"wdsparql/internal/rdf"
 )
 
@@ -24,6 +25,10 @@ type RowProgram struct {
 	pats   []cpat
 	width  int  // minimum row length: 1 + highest slot referenced
 	absent bool // some constant is not in g: no matches
+
+	// Compile-time join order; nil unless built by
+	// CompileRowProgramPlanned (see planner.go).
+	plan *plan.Plan
 }
 
 // CompileRowProgram compiles the patterns, interning their variables
@@ -67,14 +72,23 @@ type RowSearcher struct {
 	bufs   [][]scoredCand
 	assign rdf.Row      // the caller's row, during Run
 	bound  []rdf.TermID // values bound in assign, maintained across bind/unbind
+
+	// Pattern-selection policy and its scratch; see planner.go.
+	mode   SearchMode
+	slack  float64 // strict-mode divergence factor
+	stats  *SearchStats
+	memo   []countMemo // per-pattern selection-count memo
+	noMemo bool        // benchmark knob: disable the memo
 }
 
 // NewSearcher returns a fresh searcher for the program.
 func (p *RowProgram) NewSearcher() *RowSearcher {
 	return &RowSearcher{
-		prog: p,
-		done: make([]bool, len(p.pats)),
-		bufs: make([][]scoredCand, len(p.pats)),
+		prog:  p,
+		done:  make([]bool, len(p.pats)),
+		bufs:  make([][]scoredCand, len(p.pats)),
+		memo:  make([]countMemo, len(p.pats)),
+		slack: float64(DefaultSlack),
 	}
 }
 
@@ -144,6 +158,9 @@ func (s *RowSearcher) rec(remaining int, yield func() bool) bool {
 	if remaining == 0 {
 		return yield()
 	}
+	if s.stats != nil {
+		s.stats.Nodes++
+	}
 	best, bestPat, dead := s.pickPattern()
 	if dead {
 		return true // dead branch
@@ -160,21 +177,29 @@ func (s *RowSearcher) rec(remaining int, yield func() bool) bool {
 	return true
 }
 
-// pickPattern chooses the remaining pattern to expand — fail-first:
-// fewest matches under the current row, first such pattern on ties —
-// the deterministic branch decision every split of the same search
-// state reproduces (SplitTop and RunOn rely on exactly that). dead
-// reports that some remaining pattern has no matches at all, pruning
-// the whole branch.
+// pickPattern chooses the remaining pattern to expand under the
+// searcher's mode (see planner.go for the mode contract). The default
+// is fail-first: fewest matches under the current row, first such
+// pattern on ties — the deterministic branch decision every split of
+// the same search state reproduces (SplitTop and RunOn rely on
+// exactly that). dead reports that a probed pattern has no matches at
+// all, pruning the whole branch. The early break on a count-1 pattern
+// is sound for the choice (1 is the global minimum on a live branch)
+// but blind to later zero-count patterns; ModePlanned trades the
+// break for complete dead detection.
 func (s *RowSearcher) pickPattern() (best int, bestPat rdf.IDTriple, dead bool) {
-	g := s.prog.g
+	switch s.mode {
+	case ModePlanned:
+		return s.pickScored()
+	case ModeStrict:
+		return s.pickStrict()
+	}
 	best, bestCount := -1, -1
 	for i := range s.prog.pats {
 		if s.done[i] {
 			continue
 		}
-		p := s.substituteRow(i)
-		c := g.MatchCountID(p)
+		c, p := s.countOf(i)
 		if c == 0 {
 			return -1, rdf.IDTriple{}, true
 		}

@@ -154,6 +154,33 @@ func checkTwins(t *testing.T, trial int, ref, got *rdf.Graph, rng *rand.Rand) {
 			t.Fatalf("trial %d: LookupRangeID(%v) differs", trial, ipr)
 		}
 	}
+	// Selectivity catalog (cardstats.go): global distinct counts are
+	// exact on every backend; per-predicate counts are exact except for
+	// objects on a sharded base, where the per-shard sum may double
+	// count objects recurring across shards — there the reference count
+	// is the lower bound and the predicate's posting length the upper.
+	for pos := 0; pos < 3; pos++ {
+		if dr, dg := ref.DistinctCount(pos), got.DistinctCount(pos); dr != dg {
+			t.Fatalf("trial %d: DistinctCount(%d) = %d backend, want %d", trial, pos, dg, dr)
+		}
+	}
+	for _, p := range ref.DomIDs() {
+		plen := ref.MatchCountID(rdf.IDTriple{rdf.VarID(0), p, rdf.VarID(1)})
+		for _, pos := range []int{0, 2} {
+			dr, dg := ref.DistinctUnderPredicate(p, pos), got.DistinctUnderPredicate(p, pos)
+			if pos == 2 && got.Sharded() {
+				if dg < dr || dg > plen {
+					t.Fatalf("trial %d: DistinctUnderPredicate(%v, O) = %d outside [%d, %d] on sharded backend",
+						trial, p, dg, dr, plen)
+				}
+				continue
+			}
+			if dr != dg {
+				t.Fatalf("trial %d: DistinctUnderPredicate(%v, pos %d) = %d backend, want %d",
+					trial, p, pos, dg, dr)
+			}
+		}
+	}
 }
 
 // checkLifecycle verifies that mutation thaws the backend to the map

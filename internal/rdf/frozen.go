@@ -72,6 +72,10 @@ type frozenView struct {
 	// its footprint.
 	memb []uint32
 	all  []IDTriple // the graph's insertion-order slice (shared)
+
+	// Lazily-computed distinct-key counts backing the planner's
+	// selectivity catalog; see cardstats.go.
+	stats cardStats
 }
 
 // frozenAbsent marks an empty membership slot. Triple indexes are

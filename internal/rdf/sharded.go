@@ -53,6 +53,10 @@ type ShardedGraph struct {
 	// aggregate counts, not order-bearing views — the per-shard arenas
 	// remain the only source of triples.
 	cntP, cntO []uint32
+
+	// Lazily-computed distinct-key counts backing the planner's
+	// selectivity catalog; see cardstats.go.
+	stats cardStats
 }
 
 // graphShard is one shard: a frozen CSR view over the shard's triples

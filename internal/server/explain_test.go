@@ -1,0 +1,65 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"testing"
+
+	"wdsparql"
+)
+
+// explain=1 returns the compiled query plan as JSON instead of
+// evaluating — same admission path, no result stream.
+func TestExplainEndpoint(t *testing.T) {
+	s, base := startServer(t, Config{Engine: testEngine(t, 6)})
+	resp, err := http.Get(sparqlURL(base, crossQuery, url.Values{"explain": {"1"}}))
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (body %q)", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var plan wdsparql.QueryPlan
+	if err := json.Unmarshal(body, &plan); err != nil {
+		t.Fatalf("explain body %q is not a QueryPlan: %v", body, err)
+	}
+	if !plan.Planner {
+		t.Fatal("default engine must explain Planner: true")
+	}
+	if len(plan.Trees) == 0 || len(plan.Trees[0].Order) == 0 {
+		t.Fatalf("explain plan is empty: %+v", plan)
+	}
+	if plan.Trees[0].Order[0].Pattern == "" {
+		t.Fatal("explain step did not render the pattern")
+	}
+	if s.queries.Load() == 0 {
+		t.Fatal("explain request not counted as a query")
+	}
+}
+
+// A malformed explain value is a 400, and explain still runs the
+// normal failure paths (bad query → 400 before any plan is built).
+func TestExplainRejectsBadInput(t *testing.T) {
+	_, base := startServer(t, Config{Engine: testEngine(t, 4)})
+	for _, u := range []string{
+		sparqlURL(base, crossQuery, url.Values{"explain": {"yes"}}),
+		sparqlURL(base, `((?x p`, url.Values{"explain": {"1"}}),
+	} {
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatalf("GET %s: %v", u, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s: status = %d, want 400", u, resp.StatusCode)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -42,17 +43,19 @@ func badRequestf(format string, args ...any) *httpError {
 // request is one parsed /sparql request.
 type request struct {
 	query   string
-	format  string        // formatJSON or formatTSV
-	limit   int           // -1: none requested
+	format  string // formatJSON or formatTSV
+	limit   int    // -1: none requested
 	offset  int
 	workers int           // ≤ 1: sequential
 	timeout time.Duration // 0: server default
+	explain bool          // reply with the compiled query plan, no rows
 }
 
 // parseRequest implements the SPARQL-protocol request shapes: GET with
 // ?query=, POST with an application/x-www-form-urlencoded body, and
 // POST with a raw application/sparql-query body. Execution bounds ride
-// the URL: limit, offset, timeout (a Go duration), workers, format.
+// the URL: limit, offset, timeout (a Go duration), workers, format,
+// plus explain=1 to get the compiled query plan instead of rows.
 func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (request, error) {
 	req := request{format: formatJSON, limit: -1}
 	switch r.Method {
@@ -118,6 +121,13 @@ func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (request, 
 			return req, badRequestf("bad timeout %q (want a positive Go duration, e.g. 500ms)", v)
 		}
 		req.timeout = min(d, s.cfg.MaxTimeout)
+	}
+	switch v := q.Get("explain"); v {
+	case "":
+	case "1", "true":
+		req.explain = true
+	default:
+		return req, badRequestf("bad explain %q (want 1 or true)", v)
 	}
 	switch v := q.Get("format"); v {
 	case "":
@@ -227,6 +237,21 @@ func (s *Server) handleSparql(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.queries.Add(1)
+
+	// explain=1 replies with the compiled query plan instead of rows:
+	// pure prepared-state serialisation, no evaluation runs.
+	if req.explain {
+		body, err := json.Marshal(q.Explain())
+		if err != nil {
+			s.replyError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Cache-Control", "no-store")
+		w.Header().Set("X-Content-Type-Options", "nosniff")
+		_, _ = w.Write(body)
+		return
+	}
 
 	timeout := s.cfg.DefaultTimeout
 	if req.timeout > 0 {

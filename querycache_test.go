@@ -94,7 +94,7 @@ func TestPrepareTextCacheHitReturnsSameQuery(t *testing.T) {
 func TestPrepareTextErrorsNotCached(t *testing.T) {
 	e := NewEngine(nil, WithQueryCache(8))
 	for _, src := range []string{
-		"((?x p",                          // parse error
+		"((?x p", // parse error
 		`((?x p ?y) OPT (?y q ?z)) AND (?z r ?w)`, // not well-designed: ?z escapes the OPT
 	} {
 		if _, err := e.PrepareText(src); err == nil {
