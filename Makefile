@@ -19,13 +19,15 @@ vet:
 # the overload cell's shed%/p99 metrics), the E14 snapshot benchmark
 # (cold start to first row: parse vs heap load vs mmap), the E15
 # ingest benchmark (parallel pipeline vs sequential parse; overlay
-# vs frozen vs refrozen enumeration) and the E16 planner benchmark
+# vs frozen vs refrozen enumeration), the E16 planner benchmark
 # (compile-time join ordering on vs off, enumeration and order-free
-# count), recorded as go-test JSON events so the numbers are tracked
-# across PRs. Bump the artifact name (BENCH_<n>.json) per PR.
-BENCH_OUT ?= BENCH_9.json
+# count) and the E17 filter benchmark (bind-time filter pushdown on vs
+# off, plain and under a projected DISTINCT), recorded as go-test JSON
+# events so the numbers are tracked across PRs. Bump the artifact name
+# (BENCH_<n>.json) per PR.
+BENCH_OUT ?= BENCH_10.json
 bench:
-	$(GO) test -bench='E3|E9|E10|E11|E12|E13|E14|E15|E16' -benchmem -run='^$$' -json > $(BENCH_OUT)
+	$(GO) test -bench='E3|E9|E10|E11|E12|E13|E14|E15|E16|E17' -benchmem -run='^$$' -json > $(BENCH_OUT)
 	@grep 'ns/op' $(BENCH_OUT) | sed -E 's/.*"Output":"(.*)\\n".*/\1/; s/\\t/\t/g'
 
 # Run the streaming SPARQL endpoint over an N-Triples file:

@@ -834,3 +834,46 @@ func BenchmarkE16Planner(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkE17FilterPushdown measures the bind-time filter pushdown
+// against all-deferred evaluation through the public engine API: a
+// selective equality filter over the E10 optional chain, plain and
+// under a projected DISTINCT.
+func BenchmarkE17FilterPushdown(b *testing.B) {
+	g := bench.E9Data(4096)
+	ctx := context.Background()
+	hub := bench.E17Hub(g)
+	queries := []struct{ name, text string }{
+		{"eq-filter", `(` + bench.E10PatternText + ` FILTER ?y = ` + hub + `)`},
+		{"sel-distinct", `SELECT DISTINCT ?y WHERE (` + bench.E10PatternText + ` FILTER NOT ?y = ` + hub + `)`},
+	}
+	for _, w := range queries {
+		for _, cfg := range []struct {
+			name string
+			opts []wdsparql.Option
+		}{
+			{"on", nil},
+			{"off", []wdsparql.Option{wdsparql.WithFilterPushdown(false)}},
+		} {
+			q, err := wdsparql.NewEngine(g, cfg.opts...).PrepareText(w.text)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(w.name+"/pushdown-"+cfg.name, func(b *testing.B) {
+				want := -1
+				for i := 0; i < b.N; i++ {
+					n := 0
+					for range q.Rows(ctx) {
+						n++
+					}
+					if want == -1 {
+						want = n
+					} else if n != want {
+						b.Fatalf("row count changed: %d vs %d", n, want)
+					}
+				}
+				b.ReportMetric(float64(want), "rows")
+			})
+		}
+	}
+}

@@ -1,4 +1,4 @@
-// Command wdbench runs the experiment suite E1–E16 that reproduces the
+// Command wdbench runs the experiment suite E1–E17 that reproduces the
 // constructions and complexity claims of "The Tractability Frontier of
 // Well-designed SPARQL Queries" (Romero, PODS 2018) and prints one
 // table per experiment. See DESIGN.md for the experiment index and
@@ -52,7 +52,7 @@ func main() {
 // run carries the whole command so that error exits unwind through the
 // defers (in particular StopCPUProfile, which flushes the profile).
 func run() int {
-	only := flag.String("only", "", "run a single experiment (E1..E16, A1..A3, M1)")
+	only := flag.String("only", "", "run a single experiment (E1..E17, A1..A3, M1)")
 	full := flag.Bool("full", false, "extended sweeps (E3 up to k=7; ~1 min extra)")
 	ablations := flag.Bool("ablations", false, "also run the ablation suite A1..A3")
 	micro := flag.Bool("micro", false, "also run the micro-benchmarks M1")
@@ -63,7 +63,7 @@ func run() int {
 	flag.Parse()
 
 	if *only != "" && !validID(*only) {
-		fmt.Fprintf(os.Stderr, "wdbench: unknown experiment %q (want E1..E16, A1..A3 or M1)\n", *only)
+		fmt.Fprintf(os.Stderr, "wdbench: unknown experiment %q (want E1..E17, A1..A3 or M1)\n", *only)
 		return 2
 	}
 	shardCounts, err := bench.ParseShardCounts(*shards)
@@ -124,7 +124,7 @@ func run() int {
 
 func validID(id string) bool {
 	switch strings.ToUpper(id) {
-	case "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "A1", "A2", "A3", "M1":
+	case "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "A1", "A2", "A3", "M1":
 		return true
 	}
 	return false

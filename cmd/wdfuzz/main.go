@@ -17,9 +17,18 @@
 // disagreement is printed with a reproducible seed and the process
 // exits non-zero.
 //
+// With -filters > 0 (the default) each trial additionally draws a
+// random FILTER-decorated query — every other trial wrapped in a
+// SELECT projection, half of those DISTINCT — and diffs its compiled
+// row stream across every backend, both planner modes and both filter
+// placements (bind-time pushdown vs all-deferred): the streams must be
+// byte-identical, and their solution set must match the compositional
+// sparql.Eval reference, which applies filters post hoc over the
+// unfiltered subevaluations.
+//
 // Usage:
 //
-//	wdfuzz [-trials 1000] [-seed 1] [-union] [-depth 3] [-shards 1,2,7] [-planner]
+//	wdfuzz [-trials 1000] [-seed 1] [-union] [-depth 3] [-shards 1,2,7] [-planner] [-filters 2]
 package main
 
 import (
@@ -45,6 +54,7 @@ func main() {
 	depth := flag.Int("depth", 3, "operator tree depth")
 	shards := flag.String("shards", "1,2,7", "comma-separated shard counts for the sharded backend")
 	planner := flag.Bool("planner", true, "diff planner modes (heuristic vs planned stream, strict count) per trial")
+	filters := flag.Int("filters", 2, "max FILTER wraps on the filtered-query dimension (0 disables it)")
 	flag.Parse()
 
 	counts, err := bench.ParseShardCounts(*shards)
@@ -65,6 +75,21 @@ func main() {
 			failures++
 			if failures >= 5 {
 				break
+			}
+		}
+		if *filters > 0 {
+			q, ok := gen.RandomWDQuery(rng, gen.PatternOpts{
+				Depth: *depth, Union: *union, Filters: *filters, Select: trial%2 == 0,
+			})
+			if !ok {
+				fmt.Fprintln(os.Stderr, "wdfuzz: query generator exhausted")
+				os.Exit(2)
+			}
+			if !checkFilterTrial(trial, q, randomGraph(rng), counts, *planner) {
+				failures++
+				if failures >= 5 {
+					break
+				}
 			}
 		}
 	}
@@ -227,6 +252,10 @@ func checkTrial(trial int, p sparql.Pattern, g *rdf.Graph, shardCounts []int, pl
 		}
 	}
 	k := core.DominationWidth(f)
+	return checkProbes(report, ref, k, f, g)
+}
+
+func checkProbes(report func(string, ...interface{}) bool, ref *rdf.MappingSet, k int, f ptree.Forest, g *rdf.Graph) bool {
 	probes := append(ref.Slice(),
 		rdf.Mapping{"x": "a"}, rdf.Mapping{"x": "a", "y": "b"}, rdf.Mapping{})
 	for _, mu := range probes {
@@ -236,6 +265,107 @@ func checkTrial(trial int, p sparql.Pattern, g *rdf.Graph, shardCounts []int, pl
 		}
 		if got := core.EvalPebble(k, f, g, mu); got != want {
 			return report("EvalPebble(k=%d)(%s)=%v want %v", k, mu, got, want)
+		}
+	}
+	return true
+}
+
+// compileFiltered mirrors the engine's prepare path: unwrap the
+// optional SELECT, translate to a wdPF, compile with the requested
+// filter placement, and apply the projection view.
+func compileFiltered(q sparql.Pattern, g *rdf.Graph, noPush bool) (*core.ForestProgram, error) {
+	inner := q
+	var proj []string
+	distinct := false
+	sel, isSel := q.(sparql.Select)
+	if isSel {
+		inner = sel.Where
+		distinct = sel.Distinct
+		for _, v := range sel.Vars {
+			proj = append(proj, v.Value)
+		}
+	}
+	f, err := ptree.WDPF(inner)
+	if err != nil {
+		return nil, err
+	}
+	fp := core.CompileForestOpts(f, g, core.CompileOpts{NoFilterPushdown: noPush})
+	if isSel {
+		fp = fp.Project(proj, distinct)
+	}
+	return fp, nil
+}
+
+// checkFilterTrial diffs one FILTER/SELECT-decorated query: the row
+// stream must be byte-identical across every backend × both filter
+// placements × both planner modes, and its deduplicated solution set
+// must match the compositional reference (which filters post hoc).
+func checkFilterTrial(trial int, q sparql.Pattern, g *rdf.Graph, shardCounts []int, planner bool) bool {
+	report := func(format string, args ...interface{}) bool {
+		fmt.Fprintf(os.Stderr, "filter trial %d FAILED: %s\nquery: %s\ndata:\n%s",
+			trial, fmt.Sprintf(format, args...), sparql.Format(q), rdf.FormatGraph(g))
+		return false
+	}
+	backends := []struct {
+		name string
+		g    *rdf.Graph
+	}{{"map", g}, {"frozen", g.Clone().Freeze()}, {"frozen+ovl", overlayTwin(g, 0)}}
+	for _, n := range shardCounts {
+		backends = append(backends, struct {
+			name string
+			g    *rdf.Graph
+		}{fmt.Sprintf("sharded(%d)", n), g.Clone().Shard(n)}, struct {
+			name string
+			g    *rdf.Graph
+		}{fmt.Sprintf("sharded(%d)+ovl", n), overlayTwin(g, n)})
+	}
+	var want []rdf.Row
+	for _, b := range backends {
+		for _, noPush := range []bool{false, true} {
+			fp, err := compileFiltered(q, b.g, noPush)
+			if err != nil {
+				return report("compile [%s]: %v", b.name, err)
+			}
+			modes := []hom.SearchMode{hom.ModeHeuristic}
+			if planner {
+				modes = append(modes, hom.ModePlanned)
+			}
+			for _, mode := range modes {
+				got := collectTuned(fp, mode)
+				if want == nil {
+					want = got
+					continue
+				}
+				if len(got) != len(want) {
+					return report("[%s noPush=%v mode=%v] %d rows, reference stream %d",
+						b.name, noPush, mode, len(got), len(want))
+				}
+				for i := range want {
+					if !slices.Equal(got[i], want[i]) {
+						return report("[%s noPush=%v mode=%v] stream diverges at row %d: %v vs %v",
+							b.name, noPush, mode, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+	// Set-level agreement with the compositional semantics. Projection
+	// without DISTINCT may repeat projected rows in the stream, so the
+	// comparison deduplicates first.
+	ref := sparql.EvalID(q, g)
+	fp, err := compileFiltered(q, g, false)
+	if err != nil {
+		return report("compile: %v", err)
+	}
+	set := rdf.NewIDMappingSet(fp.Layout(), g.Dict().NumIRIs())
+	fp.Rows(func(r rdf.Row) bool { set.Add(r); return true })
+	if set.Len() != ref.Len() {
+		return report("pipeline set %d vs compositional %d", set.Len(), ref.Len())
+	}
+	dec := set.Decode(g.Dict())
+	for _, mu := range ref.Decode(g.Dict()).Slice() {
+		if !dec.Contains(mu) {
+			return report("pipeline missing solution %s", mu)
 		}
 	}
 	return true

@@ -53,13 +53,14 @@ const Unbound = rdf.Unbound
 // The graph must not be mutated while the engine is in use (the same
 // constraint the underlying read paths already impose).
 type Engine struct {
-	g       *rdf.Graph
-	alg     core.Algorithm
-	pebbleK int
-	workers int
-	shards  int
-	planner bool
-	slack   int
+	g        *rdf.Graph
+	alg      core.Algorithm
+	pebbleK  int
+	workers  int
+	shards   int
+	planner  bool
+	slack    int
+	pushdown bool
 
 	qcacheCap int
 	qcache    *lruCache[*PreparedQuery] // nil when WithQueryCache is off
@@ -106,6 +107,17 @@ func WithPlanner(on bool) Option { return func(e *Engine) { e.planner = on } }
 // selects the default (hom.DefaultSlack).
 func WithPlannerSlack(k int) Option { return func(e *Engine) { e.slack = k } }
 
+// WithFilterPushdown turns bind-time FILTER pushdown on or off for the
+// whole engine (default on). With pushdown on, FILTER conjuncts whose
+// variables are all in scope at one wdPT node are evaluated inside that
+// node's search the moment their last variable binds, pruning the
+// branch before recursion; off, every conjunct is evaluated per emitted
+// subtree solution. The row stream is byte-identical either way (a
+// filtered stream is a subsequence of the unfiltered one in both
+// placements); only the search effort changes. Off exists for
+// cross-validation and ablation (wdfuzz, the E17 experiment).
+func WithFilterPushdown(on bool) Option { return func(e *Engine) { e.pushdown = on } }
+
 // WithShards seals the engine's graph into the sharded storage backend
 // with n shards (rdf.Graph.Shard) instead of the single-arena frozen
 // backend: triples partition by subject hash, each shard is its own
@@ -131,7 +143,7 @@ func NewEngine(g *Graph, opts ...Option) *Engine {
 	if g == nil {
 		g = rdf.NewGraph()
 	}
-	e := &Engine{g: g, alg: core.AlgNaive, pebbleK: 1, workers: 1, planner: true}
+	e := &Engine{g: g, alg: core.AlgNaive, pebbleK: 1, workers: 1, planner: true, pushdown: true}
 	for _, o := range opts {
 		o(e)
 	}
@@ -158,13 +170,27 @@ func (e *Engine) Graph() *Graph { return e.g }
 // local) and the certain variables are computed lazily on first access
 // and cached; everything else is paid here, never again per execution.
 //
-// Prepare fails exactly when the pattern is not well-designed.
+// Prepare fails exactly when the pattern is not well-designed (for a
+// SELECT query: its WHERE pattern, with every FILTER safe and every
+// projected variable occurring in the pattern).
 func (e *Engine) Prepare(p Pattern) (*PreparedQuery, error) {
 	an, err := analyze(p)
 	if err != nil {
 		return nil, err
 	}
-	return &PreparedQuery{eng: e, an: an, prog: core.CompileForest(an.forest, e.g)}, nil
+	return &PreparedQuery{eng: e, an: an, prog: e.compile(an)}, nil
+}
+
+// compile lowers an analysis onto the engine's graph: the forest
+// compiles under the engine's pushdown setting, and a SELECT wrapper
+// becomes a projection view (SELECT * without DISTINCT is the identity
+// and compiles away).
+func (e *Engine) compile(an *analysis) *core.ForestProgram {
+	prog := core.CompileForestOpts(an.forest, e.g, core.CompileOpts{NoFilterPushdown: !e.pushdown})
+	if an.sel && (an.distinct || len(an.proj) > 0) {
+		prog = prog.Project(an.proj, an.distinct)
+	}
+	return prog
 }
 
 // PrepareText parses src as a graph pattern and prepares it,
@@ -207,7 +233,8 @@ func (e *Engine) MustPrepare(p Pattern) *PreparedQuery {
 // PrepareForest prepares an already-translated wdPF, skipping the
 // pattern-level analysis. Pattern() of the result is nil.
 func (e *Engine) PrepareForest(f Forest) *PreparedQuery {
-	return &PreparedQuery{eng: e, an: &analysis{forest: f}, prog: core.CompileForest(f, e.g)}
+	an := &analysis{forest: f}
+	return &PreparedQuery{eng: e, an: an, prog: e.compile(an)}
 }
 
 // PreparedQuery is a query compiled against an engine's graph. It is
@@ -229,6 +256,14 @@ type PreparedQuery struct {
 type analysis struct {
 	pattern sparql.Pattern // nil when prepared from a forest
 	forest  ptree.Forest
+
+	// SELECT wrapper, unwrapped before the wdpf translation: the
+	// projected variable names in declared order (nil for SELECT *)
+	// and the DISTINCT flag. sel distinguishes a bare pattern from a
+	// SELECT query.
+	sel      bool
+	proj     []string
+	distinct bool
 
 	dwOnce sync.Once
 	dw     int
@@ -262,14 +297,33 @@ func analyze(p Pattern) (*analysis, error) {
 	if an, ok := analysisCache.get(key); ok {
 		return an, nil
 	}
-	f, err := ptree.WDPF(p)
+	an := &analysis{pattern: p}
+	inner := p
+	if s, ok := p.(sparql.Select); ok {
+		// Validate the full query here — the wdpf translation below
+		// only sees the WHERE pattern, and the projection check
+		// (projected vars occur in the pattern) lives in the full
+		// check. Then unwrap: projection and DISTINCT are execution
+		// concerns, not forest structure.
+		if err := sparql.CheckWellDesigned(p); err != nil {
+			return nil, err
+		}
+		an.sel = true
+		an.distinct = s.Distinct
+		for _, v := range s.Vars {
+			an.proj = append(an.proj, v.Value)
+		}
+		inner = s.Where
+	}
+	f, err := ptree.WDPF(inner)
 	if err != nil {
 		return nil, err
 	}
+	an.forest = f
 	// add returns the first stored analysis when a concurrent first
 	// analysis won the race: every caller adopts one shared analysis,
 	// so its exponential width computations run at most once.
-	return analysisCache.add(key, &analysis{pattern: p, forest: f}), nil
+	return analysisCache.add(key, an), nil
 }
 
 // The lazily-cached static measures live here, on the shared analysis,
@@ -501,9 +555,43 @@ func (q *PreparedQuery) All(ctx context.Context, opts ...ExecOption) (*MappingSe
 // Ask decides wdEVAL — whether µ ∈ ⟦P⟧G — with the engine's algorithm
 // (WithAlgorithm, WithPebbleK). Cancellation is polled between the
 // trees of the forest.
+//
+// Queries carrying a FILTER or a SELECT projection fall back to a
+// membership scan over the (filtered, projected) row stream: the
+// homomorphism and pebble-game machinery decides membership for the
+// bare pattern semantics only, and a filtered solution set is not
+// closed under the subsumption arguments those algorithms rely on.
 func (q *PreparedQuery) Ask(ctx context.Context, mu Mapping) (bool, error) {
 	if q.eng.alg == AlgPebble && q.eng.pebbleK < 1 {
 		return false, fmt.Errorf("wdsparql: the pebble algorithm requires k ≥ 1, got WithPebbleK(%d)", q.eng.pebbleK)
 	}
+	if q.prog.Projected() || q.an.forest.HasFilters() {
+		return q.askByScan(ctx, mu)
+	}
 	return core.EvalContext(ctx, q.eng.alg, q.eng.pebbleK, q.an.forest, q.eng.g, mu)
+}
+
+// askByScan decides µ ∈ ⟦Q⟧G by streaming the query's rows and
+// comparing each against µ encoded over the output layout. Order-free,
+// so the planner may follow the compiled order literally; stops at the
+// first match.
+func (q *PreparedQuery) askByScan(ctx context.Context, mu Mapping) (bool, error) {
+	target, ok := q.prog.Layout().EncodeMapping(q.eng.g.Dict(), mu)
+	if !ok {
+		return false, nil
+	}
+	found := false
+	err := q.stream(ctx, q.config(nil), true, func(r rdf.Row) bool {
+		for i := range r {
+			if r[i] != target[i] {
+				return true
+			}
+		}
+		found = true
+		return false
+	})
+	if err != nil {
+		return false, err
+	}
+	return found, nil
 }

@@ -26,27 +26,40 @@ type PlanStep struct {
 	Side string `json:"side"`
 }
 
-// PlanNode is the plan of one wdPT node: its patterns in source order
-// plus the planned execution order.
+// PlanNode is the plan of one wdPT node: its patterns in source order,
+// the node's FILTER conjuncts (each marked [pushed] — evaluated at bind
+// time inside the node's search — or [deferred] — evaluated per emitted
+// subtree solution), plus the planned execution order.
 type PlanNode struct {
 	Patterns []string    `json:"patterns"`
+	Filters  []string    `json:"filters,omitempty"`
 	Order    []PlanStep  `json:"order,omitempty"`
 	Children []*PlanNode `json:"children,omitempty"`
 }
 
 // QueryPlan is the full explain output of a prepared query: one plan
-// tree per tree of the wdPF, plus whether the engine executes with the
-// planner on.
+// tree per tree of the wdPF, the SELECT projection if any, plus whether
+// the engine executes with the planner on.
 type QueryPlan struct {
-	Planner bool        `json:"planner"`
-	Trees   []*PlanNode `json:"trees"`
+	Planner bool `json:"planner"`
+	// Projection lists the projected variables in declared order;
+	// empty for a bare pattern (and for SELECT *, which projects
+	// nothing away). Distinct reports output dedup on the projected
+	// row.
+	Projection []string    `json:"projection,omitempty"`
+	Distinct   bool        `json:"distinct,omitempty"`
+	Trees      []*PlanNode `json:"trees"`
 }
 
 // Explain returns the compile-time query plan of the prepared query.
 // The plan is purely informational: executions with the planner off
 // (or with the Planner ExecOption) yield the identical row stream.
 func (q *PreparedQuery) Explain() *QueryPlan {
-	qp := &QueryPlan{Planner: q.eng.planner}
+	qp := &QueryPlan{
+		Planner:    q.eng.planner,
+		Projection: q.prog.OutputVars(),
+		Distinct:   q.prog.Distinct(),
+	}
 	for _, en := range q.prog.Explain() {
 		qp.Trees = append(qp.Trees, planNodeOf(en))
 	}
@@ -54,7 +67,7 @@ func (q *PreparedQuery) Explain() *QueryPlan {
 }
 
 func planNodeOf(en *core.ExplainNode) *PlanNode {
-	pn := &PlanNode{Patterns: en.Patterns}
+	pn := &PlanNode{Patterns: en.Patterns, Filters: en.Filters}
 	for _, st := range en.Order {
 		pn.Order = append(pn.Order, PlanStep{
 			Pattern: st.Pattern, Index: st.Index, Est: st.Est, Base: st.Base, Side: st.Side,

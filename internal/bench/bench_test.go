@@ -262,7 +262,7 @@ func TestTableAgreement(t *testing.T) {
 
 func TestSuiteComposition(t *testing.T) {
 	tables := Suite(false)
-	if len(tables) != 16 {
+	if len(tables) != 17 {
 		t.Fatalf("suite size: %d", len(tables))
 	}
 	ids := map[string]bool{}
@@ -277,7 +277,7 @@ func TestSuiteComposition(t *testing.T) {
 			}
 		}
 	}
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"} {
 		if !ids[id] {
 			t.Fatalf("missing %s", id)
 		}

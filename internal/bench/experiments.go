@@ -760,7 +760,7 @@ func ParseShardCounts(s string) ([]int, error) {
 	return out, nil
 }
 
-// Experiments returns the E1..E16 suite as lazily-run experiments.
+// Experiments returns the E1..E17 suite as lazily-run experiments.
 // shardCounts parameterises the E12 shard-scaling sweep (wdbench
 // -shards); when omitted it defaults to 1, 2 and 4.
 func Experiments(full bool, workers int, shardCounts ...int) []Experiment {
@@ -794,6 +794,7 @@ func Experiments(full bool, workers int, shardCounts ...int) []Experiment {
 		{"E14", func() *Table { return E14SnapshotColdStart(e14Ns) }},
 		{"E15", func() *Table { return E15Ingest(e14Ns, workers) }},
 		{"E16", func() *Table { return E16Planner(e16N, 4) }},
+		{"E17", func() *Table { return E17FilterPushdown(e16N) }},
 	}
 }
 

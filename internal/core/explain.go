@@ -26,7 +26,11 @@ type ExplainStep struct {
 
 // ExplainNode is one wdPT node of the explain tree.
 type ExplainNode struct {
-	Patterns []string       `json:"patterns"`
+	Patterns []string `json:"patterns"`
+	// Filters renders the node's FILTER conjuncts, each marked
+	// [pushed] (evaluated inside the node's search, pruning at bind
+	// time) or [deferred] (evaluated per emitted subtree solution).
+	Filters  []string       `json:"filters,omitempty"`
 	Order    []ExplainStep  `json:"order,omitempty"`
 	Children []*ExplainNode `json:"children,omitempty"`
 }
@@ -46,6 +50,7 @@ func (fp *ForestProgram) explainNode(cn *compiledNode) *ExplainNode {
 	for i := 0; i < cn.prog.NumPatterns(); i++ {
 		en.Patterns = append(en.Patterns, cn.prog.RenderPattern(i, fp.layout))
 	}
+	en.Filters = append(en.Filters, cn.filterNotes...)
 	if pl := cn.prog.Plan(); pl != nil {
 		for _, st := range pl.Steps {
 			en.Order = append(en.Order, ExplainStep{

@@ -9,6 +9,7 @@ import (
 	"wdsparql/internal/hom"
 	"wdsparql/internal/ptree"
 	"wdsparql/internal/rdf"
+	"wdsparql/internal/sparql"
 )
 
 // This file is the ID-native, compiled, streaming counterpart of
@@ -33,6 +34,15 @@ type compiledNode struct {
 	// sorted ascending: exactly the slots a maximal extension through
 	// this child may bind beyond the current partial solution.
 	subSlots []int32
+	// deferred holds the node's filter conjuncts that could not be
+	// pushed into prog (they reach into optional descendants, or
+	// pushdown is disabled), evaluated against each emitted solution
+	// of this node's subtree. Local conjuncts live inside prog instead
+	// and never appear here.
+	deferred []*hom.FilterExpr
+	// filterNotes renders every filter conjunct of the node for
+	// explain output, marked [pushed] or [deferred].
+	filterNotes []string
 }
 
 // ForestProgram is a wdPF compiled for repeated row enumeration
@@ -44,6 +54,7 @@ type ForestProgram struct {
 	layout *rdf.SlotLayout
 	roots  []*compiledNode
 	nodes  int
+	noPush bool // compile-time switch: keep every filter deferred
 
 	// Per-execution search tuning, attached to every searcher a state
 	// creates; set through Tuned, zero values mean the heuristic
@@ -53,6 +64,13 @@ type ForestProgram struct {
 	mode  hom.SearchMode
 	slack int
 	stats *hom.SearchStats
+
+	// Output shaping, set through Project: the projected layout, the
+	// full-layout slot behind each output slot (-1: never bound), and
+	// whether the output deduplicates. nil outLayout = raw full rows.
+	outLayout *rdf.SlotLayout
+	projSlots []int32
+	distinct  bool
 }
 
 // Tuned returns a view of the program with the given search tuning:
@@ -67,11 +85,26 @@ func (fp *ForestProgram) Tuned(mode hom.SearchMode, slack int, stats *hom.Search
 	return &out
 }
 
+// CompileOpts carries compile-time switches for CompileForestOpts.
+type CompileOpts struct {
+	// NoFilterPushdown keeps every FILTER conjunct at its node's
+	// subtree emit point instead of pushing local conjuncts into the
+	// node's search. Streams are identical either way (pushdown only
+	// prunes earlier); the switch exists for ablation and
+	// cross-validation.
+	NoFilterPushdown bool
+}
+
 // CompileForest compiles every tree of the forest against the graph,
 // assigning all forest variables dense slots in one shared layout (so
 // rows of different trees dedup in a single key space).
 func CompileForest(f ptree.Forest, g *rdf.Graph) *ForestProgram {
-	fp := &ForestProgram{g: g, layout: rdf.NewSlotLayout()}
+	return CompileForestOpts(f, g, CompileOpts{})
+}
+
+// CompileForestOpts is CompileForest with compile-time switches.
+func CompileForestOpts(f ptree.Forest, g *rdf.Graph, opts CompileOpts) *ForestProgram {
+	fp := &ForestProgram{g: g, layout: rdf.NewSlotLayout(), noPush: opts.NoFilterPushdown}
 	for _, t := range f {
 		fp.roots = append(fp.roots, fp.compileNode(t.Root, nil))
 	}
@@ -86,16 +119,52 @@ func CompileTree(t *ptree.Tree, g *rdf.Graph) *ForestProgram {
 // compileNode compiles one wdPT node. entry lists the layout slots
 // bound before any search of this node starts — the accumulated
 // ancestor variables — which seed the node's compile-time join plan.
+//
+// Filter conjuncts split by scope: a conjunct whose variables all lie
+// in entry ∪ vars(pat(n)) is fully bound the moment the node's own
+// search completes, so it is pushed into the RowProgram (evaluated at
+// bind time, pruning before recursion) — before planning, so equality
+// restrictions sharpen the join-order estimates. Conjuncts reaching
+// into optional descendants defer to the subtree's emit point, and
+// lower only after the children are compiled, when their variables
+// are interned.
 func (fp *ForestProgram) compileNode(n *ptree.Node, entry []int32) *compiledNode {
 	cn := &compiledNode{
 		idx:  fp.nodes,
-		prog: hom.CompileRowProgramPlanned(n.Pattern, fp.g, fp.layout, entry),
+		prog: hom.CompileRowProgram(n.Pattern, fp.g, fp.layout),
 	}
 	fp.nodes++
 	slots := map[int32]bool{}
 	for _, v := range n.Vars() {
 		slots[int32(fp.layout.Intern(v.Value))] = true
 	}
+	var deferredExprs []sparql.Expr
+	if len(n.Filters) > 0 {
+		scope := map[string]bool{}
+		for _, s := range entry {
+			scope[fp.layout.Name(int(s))] = true
+		}
+		for _, v := range n.Vars() {
+			scope[v.Value] = true
+		}
+		for _, f := range n.Filters {
+			local := true
+			for _, v := range sparql.ExprVars(f) {
+				if !scope[v.Value] {
+					local = false
+					break
+				}
+			}
+			if local && !fp.noPush {
+				cn.prog.AttachFilter(compileFilterExpr(f, fp.layout, fp.g.Dict()))
+				cn.filterNotes = append(cn.filterNotes, f.String()+" [pushed]")
+			} else {
+				deferredExprs = append(deferredExprs, f)
+				cn.filterNotes = append(cn.filterNotes, f.String()+" [deferred]")
+			}
+		}
+	}
+	cn.prog.BuildPlan(entry)
 	// Entry-bound slots of the children: everything bound on arrival
 	// here plus this node's own variables. Well-designedness makes
 	// this exact — a variable shared between a child's subtree and
@@ -120,6 +189,9 @@ func (fp *ForestProgram) compileNode(n *ptree.Node, entry []int32) *compiledNode
 			slots[s] = true
 		}
 	}
+	for _, f := range deferredExprs {
+		cn.deferred = append(cn.deferred, compileFilterExpr(f, fp.layout, fp.g.Dict()))
+	}
 	cn.subSlots = make([]int32, 0, len(slots))
 	for s := range slots {
 		cn.subSlots = append(cn.subSlots, s)
@@ -128,8 +200,18 @@ func (fp *ForestProgram) compileNode(n *ptree.Node, entry []int32) *compiledNode
 	return cn
 }
 
-// Layout returns the forest's slot layout (complete after compilation).
-func (fp *ForestProgram) Layout() *rdf.SlotLayout { return fp.layout }
+// Layout returns the layout of the rows the program streams: the
+// projected layout after Project, the full forest layout otherwise.
+func (fp *ForestProgram) Layout() *rdf.SlotLayout {
+	if fp.outLayout != nil {
+		return fp.outLayout
+	}
+	return fp.layout
+}
+
+// FullLayout returns the forest's full slot layout regardless of
+// projection (complete after compilation).
+func (fp *ForestProgram) FullLayout() *rdf.SlotLayout { return fp.layout }
 
 // enumState is the per-enumeration scratch: one RowSearcher per node
 // and the single row the partial solution lives in. stop, when non-nil,
@@ -189,8 +271,22 @@ func (fp *ForestProgram) newState() *enumState {
 func (st *enumState) enumerateTree(root *compiledNode, yield func(rdf.Row) bool) bool {
 	st.fp.layout.Reset(st.row)
 	return st.searchers[root.idx].Run(st.row, func() bool {
-		return st.extendThrough(root.children, 0, yield)
+		return st.extendThrough(root.children, 0, st.deferredFiltered(root, yield))
 	})
+}
+
+// deferredFiltered wraps yield with the node's deferred filter check;
+// nodes without deferred filters pay nothing.
+func (st *enumState) deferredFiltered(n *compiledNode, yield func(rdf.Row) bool) func(rdf.Row) bool {
+	if len(n.deferred) == 0 {
+		return yield
+	}
+	return func(r rdf.Row) bool {
+		if !st.passesDeferred(n) {
+			return true // row fails a filter: skip, keep streaming
+		}
+		return yield(r)
+	}
 }
 
 // extendThrough extends the current row maximally through the children
@@ -247,14 +343,14 @@ func (st *enumState) childSolutions(c *compiledNode) [][]rdf.TermID {
 		// The inner yield always continues, so extendThrough returns
 		// false only when the state has been stopped — propagate that
 		// so the searcher unwinds instead of materialising the rest.
-		return st.extendThrough(c.children, 0, func(rdf.Row) bool {
+		return st.extendThrough(c.children, 0, st.deferredFiltered(c, func(rdf.Row) bool {
 			snap := make([]rdf.TermID, len(c.subSlots))
 			for j, s := range c.subSlots {
 				snap[j] = st.row[s]
 			}
 			out = append(out, snap)
 			return true
-		})
+		}))
 	})
 	return out
 }
@@ -278,17 +374,23 @@ func (fp *ForestProgram) Rows(yield func(rdf.Row) bool) {
 func (fp *ForestProgram) RowsContext(ctx context.Context, yield func(rdf.Row) bool) error {
 	st := fp.newState()
 	st.stop = ctxStop(ctx)
+	out := fp.wrapOutput(yield)
 	if len(fp.roots) == 1 {
-		st.enumerateTree(fp.roots[0], yield)
+		st.enumerateTree(fp.roots[0], out)
 		return ctx.Err()
 	}
-	seen := rdf.NewIDMappingSet(fp.layout, fp.g.Dict().NumIRIs())
+	// Cross-tree dedup on full rows; redundant (and skipped) under
+	// DISTINCT, whose projected dedup subsumes it.
+	var seen *rdf.IDMappingSet
+	if !fp.distinct {
+		seen = rdf.NewIDMappingSet(fp.layout, fp.g.Dict().NumIRIs())
+	}
 	for _, root := range fp.roots {
 		if !st.enumerateTree(root, func(r rdf.Row) bool {
-			if !seen.Add(r) {
+			if seen != nil && !seen.Add(r) {
 				return true // duplicate across trees
 			}
-			return yield(r)
+			return out(r)
 		}) {
 			break
 		}
@@ -296,15 +398,17 @@ func (fp *ForestProgram) RowsContext(ctx context.Context, yield func(rdf.Row) bo
 	return ctx.Err()
 }
 
-// EnumerateSet materialises ⟦F⟧G as a deduplicated row set.
+// EnumerateSet materialises ⟦F⟧G as a deduplicated row set (over the
+// projected layout when the program carries a projection).
 func (fp *ForestProgram) EnumerateSet() *rdf.IDMappingSet {
-	out := rdf.NewIDMappingSet(fp.layout, fp.g.Dict().NumIRIs())
+	out := rdf.NewIDMappingSet(fp.Layout(), fp.g.Dict().NumIRIs())
 	st := fp.newState()
+	emit := fp.wrapOutput(func(r rdf.Row) bool {
+		out.Add(r)
+		return true
+	})
 	for _, root := range fp.roots {
-		st.enumerateTree(root, func(r rdf.Row) bool {
-			out.Add(r)
-			return true
-		})
+		st.enumerateTree(root, emit)
 	}
 	return out
 }
@@ -403,7 +507,7 @@ func (fp *ForestProgram) RowsParallel(ctx context.Context, workers int, yield fu
 				} else {
 					fp.layout.Reset(ws.row)
 					ws.searchers[it.root.idx].RunOn(ws.row, it.cand, func() bool {
-						return ws.extendThrough(it.root.children, 0, emit)
+						return ws.extendThrough(it.root.children, 0, ws.deferredFiltered(it.root, emit))
 					})
 				}
 				results[i] = local
@@ -424,8 +528,9 @@ func (fp *ForestProgram) RowsParallel(ctx context.Context, workers int, yield fu
 			}
 		}
 	}()
+	out := fp.wrapOutput(yield)
 	var seen *rdf.IDMappingSet
-	if len(fp.roots) > 1 {
+	if len(fp.roots) > 1 && !fp.distinct {
 		seen = rdf.NewIDMappingSet(fp.layout, fp.g.Dict().NumIRIs())
 	}
 merge:
@@ -439,7 +544,7 @@ merge:
 			if seen != nil && !seen.Add(r) {
 				continue // duplicate across trees
 			}
-			if !yield(r) {
+			if !out(r) {
 				break merge
 			}
 		}
@@ -456,7 +561,7 @@ merge:
 // EnumerateSet, including insertion order (work items are merged in
 // their sequential order).
 func (fp *ForestProgram) EnumerateParallel(workers int) *rdf.IDMappingSet {
-	out := rdf.NewIDMappingSet(fp.layout, fp.g.Dict().NumIRIs())
+	out := rdf.NewIDMappingSet(fp.Layout(), fp.g.Dict().NumIRIs())
 	fp.RowsParallel(context.Background(), workers, func(r rdf.Row) bool {
 		out.Add(r)
 		return true

@@ -3,6 +3,7 @@ package gen
 import (
 	"math/rand"
 
+	"wdsparql/internal/ptree"
 	"wdsparql/internal/rdf"
 	"wdsparql/internal/sparql"
 )
@@ -31,6 +32,13 @@ type PatternOpts struct {
 	MaxTries int
 	// Union adds a top-level UNION of two generated branches.
 	Union bool
+	// Filters sprinkles up to n FILTER wraps over random subpatterns
+	// (RandomWDQuery only). Filter variables are drawn from the wrapped
+	// subpattern, so the safety condition holds by construction.
+	Filters int
+	// Select wraps the query in a SELECT projecting a random subset of
+	// its variables (or *), DISTINCT half the time (RandomWDQuery only).
+	Select bool
 }
 
 func (o *PatternOpts) fill() {
@@ -83,6 +91,106 @@ func randTree(rng *rand.Rand, opts *PatternOpts, depth int) sparql.Pattern {
 		return sparql.And(l, r)
 	}
 	return sparql.Opt(l, r)
+}
+
+// RandomWDQuery draws a random well-designed query over the extended
+// fragment: a RandomWDPattern decorated with random FILTER wraps
+// (opts.Filters) and an optional SELECT projection (opts.Select).
+// Candidates are rejected until both the full well-designedness check
+// and the wdpf translation succeed — a filter spanning the optional
+// subtrees of a redundant node has no NR normal form, and such draws
+// are resampled rather than returned.
+func RandomWDQuery(rng *rand.Rand, opts PatternOpts) (sparql.Pattern, bool) {
+	opts.fill()
+	for try := 0; try < opts.MaxTries; try++ {
+		p, ok := RandomWDPattern(rng, opts)
+		if !ok {
+			return nil, false
+		}
+		if opts.Filters > 0 {
+			budget := opts.Filters
+			p = addFilters(rng, p, &opts, &budget)
+		}
+		inner := p
+		if opts.Select {
+			p = wrapSelect(rng, p)
+		}
+		if sparql.CheckWellDesigned(p) != nil {
+			continue
+		}
+		if _, err := ptree.WDPF(inner); err != nil {
+			continue
+		}
+		return p, true
+	}
+	return nil, false
+}
+
+// addFilters rebuilds the pattern bottom-up, wrapping subpatterns in
+// random FILTERs until the budget runs out. UNION nodes are never
+// wrapped (a FILTER above a UNION breaks union normal form); their
+// branches are.
+func addFilters(rng *rand.Rand, p sparql.Pattern, opts *PatternOpts, budget *int) sparql.Pattern {
+	if q, ok := p.(sparql.Binary); ok {
+		q.Left = addFilters(rng, q.Left, opts, budget)
+		q.Right = addFilters(rng, q.Right, opts, budget)
+		p = q
+		if q.Op == sparql.OpUnion {
+			return p
+		}
+	}
+	if *budget > 0 && rng.Intn(3) == 0 {
+		if e, ok := randExpr(rng, sparql.Vars(p), opts, 2); ok {
+			*budget--
+			p = sparql.Filter{Where: p, Cond: e}
+		}
+	}
+	return p
+}
+
+// randExpr draws a filter expression over the given variable pool.
+func randExpr(rng *rand.Rand, vars []rdf.Term, opts *PatternOpts, depth int) (sparql.Expr, bool) {
+	if len(vars) == 0 {
+		return nil, false
+	}
+	v := func() rdf.Term { return vars[rng.Intn(len(vars))] }
+	if depth > 0 && rng.Intn(3) == 0 {
+		l, ok1 := randExpr(rng, vars, opts, depth-1)
+		r, ok2 := randExpr(rng, vars, opts, depth-1)
+		if ok1 && ok2 {
+			op := sparql.ExprAnd
+			if rng.Intn(2) == 0 {
+				op = sparql.ExprOr
+			}
+			var e sparql.Expr = sparql.ExprBinary{Op: op, Left: l, Right: r}
+			if rng.Intn(4) == 0 {
+				e = sparql.ExprNot{X: e}
+			}
+			return e, true
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return sparql.Bound{Var: v()}, true
+	case 1:
+		return sparql.Cmp{Left: v(), Right: opts.IRIs[rng.Intn(len(opts.IRIs))], Neq: rng.Intn(2) == 1}, true
+	case 2:
+		return sparql.Cmp{Left: v(), Right: v(), Neq: rng.Intn(2) == 1}, true
+	default:
+		return sparql.ExprNot{X: sparql.Bound{Var: v()}}, true
+	}
+}
+
+// wrapSelect wraps p in a SELECT: * a quarter of the time, otherwise a
+// random non-empty subset of vars(p) in random order; DISTINCT half the
+// time.
+func wrapSelect(rng *rand.Rand, p sparql.Pattern) sparql.Pattern {
+	sel := sparql.Select{Where: p, Distinct: rng.Intn(2) == 0}
+	if vs := sparql.Vars(p); len(vs) > 0 && rng.Intn(4) != 0 {
+		rng.Shuffle(len(vs), func(i, j int) { vs[i], vs[j] = vs[j], vs[i] })
+		sel.Vars = vs[:1+rng.Intn(len(vs))]
+	}
+	return sel
 }
 
 func randWDTriple(rng *rand.Rand, opts *PatternOpts) rdf.Triple {

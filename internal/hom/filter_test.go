@@ -1,0 +1,252 @@
+package hom
+
+import (
+	"math/rand"
+	"testing"
+
+	"wdsparql/internal/rdf"
+)
+
+// Bind-time filter pushdown: a program with attached filters must
+// yield exactly the filtered subsequence of the unfiltered stream —
+// same rows, same order, never more — while pruning search nodes, and
+// the contract must hold through SplitTop/RunOn.
+
+// eqFilter builds ?slot = value.
+func eqFilter(slot int32, id rdf.TermID) *FilterExpr {
+	return &FilterExpr{Op: FOpEq, ASlot: slot, BSlot: -1, BConst: id}
+}
+
+func collectFiltered(p *RowProgram, width int) [][]rdf.TermID {
+	var out [][]rdf.TermID
+	row := make(rdf.Row, width)
+	for i := range row {
+		row[i] = rdf.Unbound
+	}
+	p.NewSearcher().Run(row, func() bool {
+		out = append(out, append([]rdf.TermID(nil), row...))
+		return true
+	})
+	return out
+}
+
+func TestFilterEvalThreeValued(t *testing.T) {
+	row := rdf.Row{5, rdf.Unbound}
+	tt := func(f *FilterExpr, want Tri) {
+		t.Helper()
+		if got := f.Eval(row); got != want {
+			t.Fatalf("%v = %v, want %v", f, got, want)
+		}
+	}
+	bound0 := &FilterExpr{Op: FOpBound, ASlot: 0, BSlot: -1}
+	bound1 := &FilterExpr{Op: FOpBound, ASlot: 1, BSlot: -1}
+	cmpUnbound := eqFilter(1, 5)
+	tt(eqFilter(0, 5), TriTrue)
+	tt(eqFilter(0, 6), TriFalse)
+	tt(cmpUnbound, TriErr)
+	tt(bound0, TriTrue)
+	tt(bound1, TriFalse)
+	tt(&FilterExpr{Op: FOpNot, ASlot: -1, BSlot: -1, X: cmpUnbound}, TriErr)
+	// Kleene: false AND err = false; true OR err = true; err AND true = err.
+	tt(&FilterExpr{Op: FOpAnd, ASlot: -1, BSlot: -1, X: eqFilter(0, 6), Y: cmpUnbound}, TriFalse)
+	tt(&FilterExpr{Op: FOpOr, ASlot: -1, BSlot: -1, X: eqFilter(0, 5), Y: cmpUnbound}, TriTrue)
+	tt(&FilterExpr{Op: FOpAnd, ASlot: -1, BSlot: -1, X: cmpUnbound, Y: eqFilter(0, 5)}, TriErr)
+	// The absent-constant sentinel compares unequal to every bound value.
+	tt(&FilterExpr{Op: FOpEq, ASlot: 0, BSlot: -1, BConst: rdf.Unbound}, TriFalse)
+	tt(&FilterExpr{Op: FOpNe, ASlot: 0, BSlot: -1, BConst: rdf.Unbound}, TriTrue)
+}
+
+func TestPushdownIsFilteredSubsequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for c := 0; c < 150; c++ {
+		g := randRowGraph(rng)
+		pats := randRowPats(rng)
+		layout := rdf.NewSlotLayout()
+		plain := CompileRowProgram(pats, g, layout)
+		if layout.Width() == 0 {
+			continue
+		}
+		width := plain.Width()
+		baseline := collectFiltered(plain, width)
+
+		// Pin a random slot to a random dictionary value.
+		slot := int32(rng.Intn(layout.Width()))
+		id := rdf.TermID(rng.Intn(g.Dict().NumIRIs()))
+		f := eqFilter(slot, id)
+
+		filtered := CompileRowProgram(pats, g, layout)
+		filtered.AttachFilter(f)
+		stats := &SearchStats{}
+		fs := filtered.NewSearcher()
+		fs.Tune(ModeHeuristic, 0, stats)
+		var got [][]rdf.TermID
+		row := make(rdf.Row, filtered.Width())
+		for i := range row {
+			row[i] = rdf.Unbound
+		}
+		fs.Run(row, func() bool {
+			got = append(got, append([]rdf.TermID(nil), row...))
+			return true
+		})
+
+		var want [][]rdf.TermID
+		for _, r := range baseline {
+			if r[slot] == id {
+				want = append(want, r)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("case %d: pats %v filter slot %d=%d: got %d rows, want %d",
+				c, pats, slot, id, len(got), len(want))
+		}
+		for i := range got {
+			for s := range got[i] {
+				if got[i][s] != want[i][s] {
+					t.Fatalf("case %d row %d: stream diverged", c, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPushdownPrunesNodes(t *testing.T) {
+	// A chain ?x p ?y, ?y q ?z over a fan-out graph: pinning ?y cuts
+	// the subtree under every other ?y binding.
+	g := rdf.NewGraph()
+	for i := 0; i < 50; i++ {
+		g.AddTriple("s", "p", nodeName(i))
+		g.AddTriple(nodeName(i), "q", "t")
+	}
+	layout := rdf.NewSlotLayout()
+	pats := []rdf.Triple{
+		rdf.T(rdf.Var("x"), rdf.IRI("p"), rdf.Var("y")),
+		rdf.T(rdf.Var("y"), rdf.IRI("q"), rdf.Var("z")),
+	}
+	plain := CompileRowProgram(pats, g, layout)
+	base := &SearchStats{}
+	s := plain.NewSearcher()
+	s.Tune(ModeHeuristic, 0, base)
+	row := make(rdf.Row, plain.Width())
+	for i := range row {
+		row[i] = rdf.Unbound
+	}
+	n := 0
+	s.Run(row, func() bool { n++; return true })
+	if n != 50 {
+		t.Fatalf("unfiltered rows: %d", n)
+	}
+
+	ySlot, _ := layout.Slot("y")
+	id, ok := g.Dict().LookupIRI(nodeName(7))
+	if !ok {
+		t.Fatal("dict lookup")
+	}
+	filtered := CompileRowProgram(pats, g, layout)
+	filtered.AttachFilter(eqFilter(int32(ySlot), id))
+	fstats := &SearchStats{}
+	fs := filtered.NewSearcher()
+	fs.Tune(ModeHeuristic, 0, fstats)
+	for i := range row {
+		row[i] = rdf.Unbound
+	}
+	n = 0
+	fs.Run(row, func() bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("filtered rows: %d", n)
+	}
+	if fstats.FilterPruned == 0 {
+		t.Fatal("no candidate was pruned at bind time")
+	}
+	if fstats.Nodes >= base.Nodes {
+		t.Fatalf("pushdown expanded %d nodes, unfiltered %d — no win", fstats.Nodes, base.Nodes)
+	}
+}
+
+func TestSeedFiltersRejectEntryBound(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddTriple("a", "p", "b")
+	layout := rdf.NewSlotLayout()
+	pats := []rdf.Triple{rdf.T(rdf.Var("x"), rdf.IRI("p"), rdf.Var("y"))}
+	prog := CompileRowProgram(pats, g, layout)
+	xSlot, _ := layout.Slot("x")
+	aID, _ := g.Dict().LookupIRI("a")
+	bID, _ := g.Dict().LookupIRI("b")
+	prog.AttachFilter(eqFilter(int32(xSlot), bID))
+
+	// Entry row pre-binds ?x = a; the filter ?x = b is complete at
+	// seed time and false — the stream must be empty without a single
+	// search node.
+	row := make(rdf.Row, prog.Width())
+	for i := range row {
+		row[i] = rdf.Unbound
+	}
+	row[xSlot] = aID
+	stats := &SearchStats{}
+	s := prog.NewSearcher()
+	s.Tune(ModeHeuristic, 0, stats)
+	n := 0
+	if !s.Run(row, func() bool { n++; return true }) {
+		t.Fatal("Run should report exhaustion")
+	}
+	if n != 0 || stats.Nodes != 0 {
+		t.Fatalf("entry-failing filter: %d rows, %d nodes", n, stats.Nodes)
+	}
+	// And the row is restored untouched.
+	if row[xSlot] != aID {
+		t.Fatal("assign mutated")
+	}
+}
+
+func TestSplitTopPreservesFilters(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for c := 0; c < 100; c++ {
+		g := randRowGraph(rng)
+		pats := randRowPats(rng)
+		layout := rdf.NewSlotLayout()
+		prog := CompileRowProgram(pats, g, layout)
+		if layout.Width() == 0 {
+			continue
+		}
+		slot := int32(rng.Intn(layout.Width()))
+		id := rdf.TermID(rng.Intn(g.Dict().NumIRIs()))
+		prog.AttachFilter(eqFilter(slot, id))
+
+		whole := collectFiltered(prog, prog.Width())
+
+		// Split the top level and re-run each candidate stripe.
+		row := make(rdf.Row, prog.Width())
+		for i := range row {
+			row[i] = rdf.Unbound
+		}
+		cands, ok := prog.NewSearcher().SplitTop(row)
+		if !ok {
+			// Empty or seed-rejected stream: the whole run must agree.
+			if len(whole) != 0 {
+				t.Fatalf("case %d: SplitTop empty but Run yielded %d", c, len(whole))
+			}
+			continue
+		}
+		var merged [][]rdf.TermID
+		for _, cand := range cands {
+			s := prog.NewSearcher()
+			s.RunOn(row, cand, func() bool {
+				merged = append(merged, append([]rdf.TermID(nil), row...))
+				return true
+			})
+		}
+		if len(merged) != len(whole) {
+			t.Fatalf("case %d: split %d rows vs whole %d", c, len(merged), len(whole))
+		}
+		for i := range merged {
+			for s := range merged[i] {
+				if merged[i][s] != whole[i][s] {
+					t.Fatalf("case %d: split stream diverged at row %d", c, i)
+				}
+			}
+		}
+	}
+}
+
+func nodeName(i int) string {
+	return string(rune('A'+i/26)) + string(rune('a'+i%26))
+}

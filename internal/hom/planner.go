@@ -81,10 +81,11 @@ const DefaultSlack = 16
 // of the searchers it is attached to (see RowSearcher.Tune). Counters
 // are plain ints: attach stats to sequential executions only.
 type SearchStats struct {
-	Nodes       int64 // search nodes expanded (rec calls below the root)
-	CountProbes int64 // MatchCountID probes issued by pattern selection
-	MemoHits    int64 // selection counts served from the memo
-	Rescored    int64 // strict-mode nodes that fell back to a full re-score
+	Nodes        int64 // search nodes expanded (rec calls below the root)
+	CountProbes  int64 // MatchCountID probes issued by pattern selection
+	MemoHits     int64 // selection counts served from the memo
+	Rescored     int64 // strict-mode nodes that fell back to a full re-score
+	FilterPruned int64 // candidate bindings cut by a pushed filter before recursion
 }
 
 // countMemo caches the last selection count of one pattern, keyed on
@@ -194,14 +195,7 @@ func (s *RowSearcher) pickStrict() (int, rdf.IDTriple, bool) {
 // have no matches to order.
 func CompileRowProgramPlanned(pats []rdf.Triple, g *rdf.Graph, layout *rdf.SlotLayout, entry []int32) *RowProgram {
 	p := CompileRowProgram(pats, g, layout)
-	if p.absent || len(p.pats) == 0 {
-		return p
-	}
-	pp := make([]plan.Pattern, len(p.pats))
-	for i, cp := range p.pats {
-		pp[i] = plan.Pattern{Code: cp.code}
-	}
-	p.plan = plan.Compile(pp, g, entry)
+	p.BuildPlan(entry)
 	return p
 }
 

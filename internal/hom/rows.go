@@ -27,8 +27,12 @@ type RowProgram struct {
 	absent bool // some constant is not in g: no matches
 
 	// Compile-time join order; nil unless built by
-	// CompileRowProgramPlanned (see planner.go).
+	// CompileRowProgramPlanned or BuildPlan (see planner.go).
 	plan *plan.Plan
+
+	// Pushed filter conjuncts; see filter.go. Immutable once the first
+	// searcher is created.
+	filters []progFilter
 }
 
 // CompileRowProgram compiles the patterns, interning their variables
@@ -79,17 +83,24 @@ type RowSearcher struct {
 	stats  *SearchStats
 	memo   []countMemo // per-pattern selection-count memo
 	noMemo bool        // benchmark knob: disable the memo
+
+	// Filter-pushdown scratch; nil when the program has no filters
+	// (the search then pays nothing). See filter.go.
+	fRemaining []int32   // per filter: slots still unbound
+	fWatch     [][]int32 // per slot: indices of filters reading it
 }
 
 // NewSearcher returns a fresh searcher for the program.
 func (p *RowProgram) NewSearcher() *RowSearcher {
-	return &RowSearcher{
+	s := &RowSearcher{
 		prog:  p,
 		done:  make([]bool, len(p.pats)),
 		bufs:  make([][]scoredCand, len(p.pats)),
 		memo:  make([]countMemo, len(p.pats)),
 		slack: float64(DefaultSlack),
 	}
+	s.initFilterScratch()
+	return s
 }
 
 // Run enumerates all homomorphisms from the program's patterns into
@@ -108,6 +119,9 @@ func (s *RowSearcher) Run(assign rdf.Row, yield func() bool) bool {
 	}
 	if p.absent && len(p.pats) > 0 {
 		return true
+	}
+	if !s.seedFilters(assign) {
+		return true // an entry-bound filter fails: empty stream
 	}
 	s.assign = assign
 	s.seedBound(assign)
@@ -245,11 +259,16 @@ func (s *RowSearcher) scoredCandidates(best int, bestPat rdf.IDTriple, depth int
 
 // bindAndRec binds the fresh slots of pattern best to the candidate
 // triple t, recurses into the remaining patterns, and restores the row
-// and the bound stack on the way out.
+// and the bound stack on the way out. A pushed filter whose last slot
+// binds here is evaluated immediately; anything but true prunes the
+// subtree below this candidate (the recursion is skipped, the binding
+// undone, and the sibling candidates continue — a pure subsequence of
+// the unfiltered exploration).
 func (s *RowSearcher) bindAndRec(best int, t rdf.IDTriple, remaining int, yield func() bool) bool {
 	cp := &s.prog.pats[best]
 	var newSlots [3]int32
 	n := 0
+	pruned := false
 	for pos := 0; pos < 3; pos++ {
 		c := cp.code[pos]
 		if c >= 0 && s.assign[c] == rdf.Unbound {
@@ -257,11 +276,30 @@ func (s *RowSearcher) bindAndRec(best int, t rdf.IDTriple, remaining int, yield 
 			s.bound = append(s.bound, t[pos])
 			newSlots[n] = c
 			n++
+			if s.fWatch != nil {
+				for _, fi := range s.fWatch[c] {
+					s.fRemaining[fi]--
+					if !pruned && s.fRemaining[fi] == 0 && s.prog.filters[fi].expr.Eval(s.assign) != TriTrue {
+						pruned = true
+					}
+				}
+			}
 		}
 	}
-	more := s.rec(remaining-1, yield)
+	more := true
+	if !pruned {
+		more = s.rec(remaining-1, yield)
+	} else if s.stats != nil {
+		s.stats.FilterPruned++
+	}
 	for j := 0; j < n; j++ {
-		s.assign[newSlots[j]] = rdf.Unbound
+		c := newSlots[j]
+		s.assign[c] = rdf.Unbound
+		if s.fWatch != nil {
+			for _, fi := range s.fWatch[c] {
+				s.fRemaining[fi]++
+			}
+		}
 	}
 	s.bound = s.bound[:len(s.bound)-n]
 	return more
@@ -289,6 +327,9 @@ func (s *RowSearcher) SplitTop(assign rdf.Row) ([]rdf.IDTriple, bool) {
 	}
 	if p.absent {
 		return nil, true // no matches: an empty stream, zero work items
+	}
+	if !s.seedFilters(assign) {
+		return nil, true // an entry-bound filter fails: empty stream
 	}
 	s.assign = assign
 	s.seedBound(assign)
@@ -319,6 +360,9 @@ func (s *RowSearcher) RunOn(assign rdf.Row, t rdf.IDTriple, yield func() bool) b
 	}
 	if len(p.pats) == 0 || p.absent {
 		return true
+	}
+	if !s.seedFilters(assign) {
+		return true // an entry-bound filter fails: empty stream
 	}
 	s.assign = assign
 	s.seedBound(assign)

@@ -80,14 +80,29 @@ func (pl *Plan) Volatile() bool { return pl.volatile }
 // starts (the ancestor variables of a wdPT node); they seed the bound
 // set of the first step.
 func Compile(pats []Pattern, g *rdf.Graph, entry []int32) *Plan {
+	return CompileWithRestrictions(pats, g, entry, nil)
+}
+
+// CompileWithRestrictions is Compile with an extra set of restricted
+// slots: variable slots an equality filter pins to a single constant.
+// The runtime's filter pushdown prunes every other value the moment
+// such a slot binds, so the estimator treats restricted slots exactly
+// like entry-bound ones — the surviving cardinality through a
+// restricted position is the base divided by the position's domain
+// size. Restrictions bias only the ordering (and the Explain output);
+// the emitted stream is mode-governed and unaffected.
+func CompileWithRestrictions(pats []Pattern, g *rdf.Graph, entry []int32, restricted []int32) *Plan {
 	n := len(pats)
 	pl := &Plan{
 		Steps: make([]Step, 0, n),
 		order: make([]int, 0, n),
 		est:   make([]float64, n),
 	}
-	bound := make(map[int32]bool, len(entry)+3*n)
+	bound := make(map[int32]bool, len(entry)+len(restricted)+3*n)
 	for _, s := range entry {
+		bound[s] = true
+	}
+	for _, s := range restricted {
 		bound[s] = true
 	}
 	pl.volatile = cyclic(pats, bound)

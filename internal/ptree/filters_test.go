@@ -1,0 +1,118 @@
+package ptree
+
+import (
+	"strings"
+	"testing"
+
+	"wdsparql/internal/sparql"
+)
+
+// FILTER handling in the wdpf translation: conjuncts attach to the
+// node built from the FILTER's scope, survive NR normalisation when
+// they soundly can, and error out when no NR tree exists.
+
+func TestFromPatternAttachesFilters(t *testing.T) {
+	p := sparql.MustParse(`(((?x p ?y) FILTER ?x != ?y) OPT ((?y q ?z) FILTER ?z = a))`)
+	tree, err := FromPattern(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Root.Filters) != 1 || len(tree.Root.Children[0].Filters) != 1 {
+		t.Fatalf("filters misplaced:\n%s", tree)
+	}
+	if !tree.HasFilters() {
+		t.Fatal("HasFilters")
+	}
+	if !strings.Contains(tree.String(), "FILTER") {
+		t.Fatalf("String lost the filters:\n%s", tree)
+	}
+	// A top-level AND of two conjuncts splits into two node filters.
+	p = sparql.MustParse(`((?x p ?y) FILTER ?x = a AND ?y != b)`)
+	tree, err = FromPattern(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Root.Filters) != 2 {
+		t.Fatalf("conjunct split: %d filters", len(tree.Root.Filters))
+	}
+}
+
+func TestToPatternRoundTripsFilters(t *testing.T) {
+	for _, src := range []string{
+		`((?x p ?y) FILTER ?x != ?y)`,
+		`(((?x p ?y) OPT ((?y q ?z) FILTER BOUND(?z))) FILTER ?x = a)`,
+	} {
+		p := sparql.MustParse(src)
+		tree, err := FromPattern(p)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		back, err := FromPattern(ToPattern(tree))
+		if err != nil {
+			t.Fatalf("re-translate %s: %v", sparql.Format(ToPattern(tree)), err)
+		}
+		if tree.String() != back.String() {
+			t.Fatalf("round trip:\n%s\nvs\n%s", tree, back)
+		}
+	}
+}
+
+// NR normalisation with filters: a deleted redundant leaf drops its
+// filters; a merged redundant node copies node-scoped filters to every
+// child; a subtree-spanning filter on a multi-child redundant node has
+// no NR form and must error.
+func TestNRNormalizationWithFilters(t *testing.T) {
+	// Redundant leaf: ((?x p ?y) OPT ((?x p2 ?y) FILTER ?x = a)) — the
+	// OPT arm adds no variables; deleting it (filter and all) is sound
+	// because extension changes no bindings either way.
+	tree, err := FromPattern(sparql.MustParse(`((?x p ?y) OPT ((?x p2 ?y) FILTER ?x = a))`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size() != 1 || tree.HasFilters() {
+		t.Fatalf("redundant filtered leaf should vanish:\n%s", tree)
+	}
+
+	// Redundant middle node with a filter over its own pattern vars:
+	// the filter is constant across the child's extensions and copies
+	// to the merged child.
+	tree, err = FromPattern(sparql.MustParse(
+		`((?x p ?y) OPT (((?x p2 ?y) FILTER ?y != a) OPT (?y q ?z)))`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size() != 2 {
+		t.Fatalf("middle node should merge:\n%s", tree)
+	}
+	if len(tree.Root.Children[0].Filters) != 1 {
+		t.Fatalf("merged child lost the filter:\n%s", tree)
+	}
+
+	// Same shape but the filter reaches into the optional subtree
+	// (BOUND(?z) scopes over the child's variable): with a single
+	// child the emit scope is unchanged, so the merge may move it.
+	tree, err = FromPattern(sparql.MustParse(
+		`((?x p ?y) OPT (((?x p2 ?y) OPT (?y q ?z)) FILTER BOUND(?z)))`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size() != 2 || len(tree.Root.Children[0].Filters) != 1 {
+		t.Fatalf("single-child merge should carry the filter:\n%s", tree)
+	}
+
+	// Two children and a filter spanning them: no NR tree exists.
+	_, err = FromPattern(sparql.MustParse(
+		`((?x p ?y) OPT ((((?x p2 ?y) OPT (?y q ?z)) OPT (?y r ?w)) FILTER ?z = ?w))`))
+	if err == nil || !strings.Contains(err.Error(), "cannot normalize") {
+		t.Fatalf("subtree-spanning filter on a redundant multi-child node: %v", err)
+	}
+}
+
+func TestWDPFRejectsSelectBelowPattern(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("buildNode must panic on a SELECT below a graph pattern")
+		}
+	}()
+	_, _ = FromPattern(sparql.Select{Where: sparql.MustParse(`(?x p ?y)`)})
+}

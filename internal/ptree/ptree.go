@@ -14,6 +14,7 @@ import (
 
 	"wdsparql/internal/hom"
 	"wdsparql/internal/rdf"
+	"wdsparql/internal/sparql"
 )
 
 // Node is a node of a well-designed pattern tree; λ(n) is the Pattern
@@ -24,6 +25,13 @@ type Node struct {
 	ID int
 	// Pattern is λ(n).
 	Pattern hom.TGraph
+	// Filters holds the FILTER conjuncts scoped to this node's subtree:
+	// each solution of the subtree rooted here (the node's pattern plus
+	// its maximal optional extensions) is kept only when every conjunct
+	// evaluates to true. By the safety condition, every filter variable
+	// occurs in the subtree's pattern. Expressions are immutable and
+	// may be shared across clones.
+	Filters []sparql.Expr
 	// Parent is nil for the root.
 	Parent *Node
 	// Children in deterministic order.
@@ -44,6 +52,28 @@ type Forest []*Tree
 
 // Nodes returns all nodes of the tree in ID order.
 func (t *Tree) Nodes() []*Node { return t.nodes }
+
+// HasFilters reports whether any node of the tree carries FILTER
+// conjuncts.
+func (t *Tree) HasFilters() bool {
+	for _, n := range t.nodes {
+		if len(n.Filters) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// HasFilters reports whether any tree of the forest carries FILTER
+// conjuncts.
+func (f Forest) HasFilters() bool {
+	for _, t := range f {
+		if t.HasFilters() {
+			return true
+		}
+	}
+	return false
+}
 
 // Node returns the node with the given ID.
 func (t *Tree) Node(id int) *Node { return t.nodes[id] }
@@ -83,6 +113,7 @@ func (t *Tree) Clone() *Tree {
 	var cp func(n *Node, parent *Node) *Node
 	cp = func(n *Node, parent *Node) *Node {
 		m := &Node{Pattern: hom.NewTGraph(n.Pattern...), Parent: parent}
+		m.Filters = append([]sparql.Expr(nil), n.Filters...)
 		for _, c := range n.Children {
 			m.Children = append(m.Children, cp(c, m))
 		}
@@ -168,7 +199,11 @@ func (t *Tree) String() string {
 	var b strings.Builder
 	var rec func(n *Node, depth int)
 	rec = func(n *Node, depth int) {
-		fmt.Fprintf(&b, "%s[%d] %s\n", strings.Repeat("  ", depth), n.ID, n.Pattern)
+		fmt.Fprintf(&b, "%s[%d] %s", strings.Repeat("  ", depth), n.ID, n.Pattern)
+		for _, f := range n.Filters {
+			fmt.Fprintf(&b, " FILTER %s", f)
+		}
+		b.WriteByte('\n')
 		for _, c := range n.Children {
 			rec(c, depth+1)
 		}
@@ -202,6 +237,7 @@ func (f Forest) String() string {
 // generators: each spec is a node pattern plus child specs.
 type Spec struct {
 	Pattern  []rdf.Triple
+	Filters  []sparql.Expr
 	Children []Spec
 }
 
@@ -209,7 +245,7 @@ type Spec struct {
 func FromSpec(s Spec) *Tree {
 	var rec func(s Spec, parent *Node) *Node
 	rec = func(s Spec, parent *Node) *Node {
-		n := &Node{Pattern: hom.NewTGraph(s.Pattern...), Parent: parent}
+		n := &Node{Pattern: hom.NewTGraph(s.Pattern...), Filters: s.Filters, Parent: parent}
 		for _, c := range s.Children {
 			n.Children = append(n.Children, rec(c, n))
 		}
@@ -218,13 +254,28 @@ func FromSpec(s Spec) *Tree {
 	return newTree(rec(s, nil))
 }
 
+// sortKey renders the node's pattern plus its filters, so trees that
+// differ only in filters still sort their children deterministically.
+func (n *Node) sortKey() string {
+	if len(n.Filters) == 0 {
+		return n.Pattern.String()
+	}
+	var b strings.Builder
+	b.WriteString(n.Pattern.String())
+	for _, f := range n.Filters {
+		b.WriteString(" FILTER ")
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
 // SortChildren orders every node's children deterministically by their
 // pattern rendering; construction order is preserved where patterns
 // are distinct anyway, and tests rely on stable output.
 func (t *Tree) SortChildren() {
 	for _, n := range t.nodes {
 		sort.SliceStable(n.Children, func(i, j int) bool {
-			return n.Children[i].Pattern.String() < n.Children[j].Pattern.String()
+			return n.Children[i].sortKey() < n.Children[j].sortKey()
 		})
 	}
 	*t = *newTree(t.Root)

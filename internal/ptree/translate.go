@@ -29,7 +29,9 @@ func FromPattern(p sparql.Pattern) (*Tree, error) {
 	}
 	root := buildNode(p, nil)
 	t := newTree(root)
-	t.normalizeNR()
+	if err := t.normalizeNR(); err != nil {
+		return nil, err
+	}
 	t.SortChildren()
 	if err := t.Validate(true); err != nil {
 		return nil, fmt.Errorf("ptree: internal error: translation produced invalid tree: %w", err)
@@ -66,6 +68,12 @@ func MustWDPF(p sparql.Pattern) Forest {
 // buildNode flattens the AND-structure of p into one node and turns
 // each OPT right-hand side into a child subtree: the standard
 // OPT-normal-form construction, valid for well-designed patterns.
+// FILTER conditions are split into their top-level conjuncts and
+// attached to the node whose subtree is the condition's scope: the
+// selection σ_R commutes with the AND-joins flattened into the node
+// (vars(R) are untouched by joining more triples) and is evaluated per
+// emitted subtree solution, which is exactly σ_R over the subpattern
+// the FILTER wrapped.
 func buildNode(p sparql.Pattern, parent *Node) *Node {
 	n := &Node{Parent: parent}
 	var triples []rdf.Triple
@@ -86,6 +94,11 @@ func buildNode(p sparql.Pattern, parent *Node) *Node {
 			default:
 				panic("ptree: UNION below AND/OPT")
 			}
+		case sparql.Filter:
+			collect(b.Where)
+			n.Filters = append(n.Filters, sparql.Conjuncts(b.Cond)...)
+		case sparql.Select:
+			panic("ptree: SELECT below a graph pattern")
 		}
 	}
 	collect(p)
@@ -101,21 +114,47 @@ func buildNode(p sparql.Pattern, parent *Node) *Node {
 // well-designedness semantics such a node can be eliminated:
 //
 //   - if n is a leaf, ⟦P' OPT pat(n)⟧ = ⟦P'⟧ whenever vars(pat(n)) ⊆
-//     vars(P'), so n is deleted;
+//     vars(P'), so n is deleted; its filters go with it — whether the
+//     optional extension survives them or not, it adds no bindings;
 //   - otherwise each child c of n is replaced by a node labelled
 //     pat(n) ∪ pat(c) attached to n's parent, preserving the optional
 //     semantics of the grandchildren.
 //
+// Filters of an eliminated non-leaf n move as follows: a conjunct over
+// vars(pat(n)) only is a fixed truth value across every child
+// extension (node-level vars are all bound once pat(n) matches), so
+// copying it to every merged child preserves exactly the "all children
+// drop out together" behaviour. When n has a single child, any
+// conjunct — even one over grandchild-subtree variables — moves to the
+// merged child, whose emit point sees the same rows n's did. A
+// conjunct over several children's subtree variables cannot be placed
+// on any one sibling without changing which siblings drop out; that
+// pattern shape has no NR-normal-form tree in this fragment and is
+// reported as a translation error.
+//
 // The rewriting preserves ⟦T⟧G (cross-validated against the
 // compositional semantics in the integration tests) and terminates
 // because every step removes one node.
-func (t *Tree) normalizeNR() {
+func (t *Tree) normalizeNR() error {
 	for {
 		n := t.findNonNR()
 		if n == nil {
-			break
+			return nil
 		}
 		parent := n.Parent
+		if len(n.Children) > 1 {
+			nodeVars := map[rdf.Term]bool{}
+			for _, v := range n.Pattern.Vars() {
+				nodeVars[v] = true
+			}
+			for _, f := range n.Filters {
+				for _, v := range sparql.ExprVars(f) {
+					if !nodeVars[v] {
+						return fmt.Errorf("ptree: cannot normalize: filter %s on a redundant node spans its optional subtrees", f)
+					}
+				}
+			}
+		}
 		// Remove n from parent's child list.
 		kept := parent.Children[:0]
 		for _, c := range parent.Children {
@@ -124,9 +163,10 @@ func (t *Tree) normalizeNR() {
 			}
 		}
 		parent.Children = kept
-		// Re-attach n's children, merged with n's pattern.
+		// Re-attach n's children, merged with n's pattern and filters.
 		for _, c := range n.Children {
 			c.Pattern = c.Pattern.Union(n.Pattern)
+			c.Filters = append(append([]sparql.Expr(nil), n.Filters...), c.Filters...)
 			c.Parent = parent
 			parent.Children = append(parent.Children, c)
 		}
@@ -144,9 +184,11 @@ func (t *Tree) findNonNR() *Node {
 }
 
 // ToPattern converts a wdPT back into a well-designed UNION-free graph
-// pattern: the node's triples joined by AND, with one OPT per child.
-// Empty node patterns are not representable as graph patterns; the
-// translation panics on them (they cannot arise from FromPattern).
+// pattern: the node's triples joined by AND, with one OPT per child,
+// and the node's filters wrapped outside the OPTs (their scope is the
+// whole subtree). Empty node patterns are not representable as graph
+// patterns; the translation panics on them (they cannot arise from
+// FromPattern).
 func ToPattern(t *Tree) sparql.Pattern {
 	var rec func(n *Node) sparql.Pattern
 	rec = func(n *Node) sparql.Pattern {
@@ -160,6 +202,9 @@ func ToPattern(t *Tree) sparql.Pattern {
 		out := sparql.AndAll(parts...)
 		for _, c := range n.Children {
 			out = sparql.Opt(out, rec(c))
+		}
+		for _, f := range n.Filters {
+			out = sparql.Filter{Where: out, Cond: f}
 		}
 		return out
 	}

@@ -137,11 +137,39 @@ func (e *tsvEncoder) row(r wdsparql.Row) error {
 		}
 		if v != wdsparql.Unbound {
 			e.w.WriteByte('<')
-			e.w.WriteString(e.dict.StringOf(v))
+			writeTSVValue(e.w, e.dict.StringOf(v))
 			e.w.WriteByte('>')
 		}
 	}
 	return e.w.WriteByte('\n')
+}
+
+// writeTSVValue writes an IRI into a TSV field with the SPARQL 1.1 TSV
+// escapes: a raw tab or newline inside a value would split the field or
+// the row, so \t, \n, \r and \ itself are backslash-escaped. The
+// escape-free common case is a single write.
+func writeTSVValue(w *bufio.Writer, s string) {
+	start := 0
+	for i := 0; i < len(s); i++ {
+		var esc byte
+		switch s[i] {
+		case '\t':
+			esc = 't'
+		case '\n':
+			esc = 'n'
+		case '\r':
+			esc = 'r'
+		case '\\':
+			esc = '\\'
+		default:
+			continue
+		}
+		w.WriteString(s[start:i])
+		w.WriteByte('\\')
+		w.WriteByte(esc)
+		start = i + 1
+	}
+	w.WriteString(s[start:])
 }
 
 func (e *tsvEncoder) end(bool) error {

@@ -56,13 +56,62 @@ type Binary struct {
 	Left, Right Pattern
 }
 
+// Filter is (Where FILTER Cond): the solutions of Where restricted to
+// those on which Cond evaluates to true (three-valued semantics; see
+// expr.go). The safety condition vars(Cond) ⊆ vars(Where) is part of
+// well-designedness, not of construction.
+type Filter struct {
+	Where Pattern
+	Cond  Expr
+}
+
+// Select is the query wrapper SELECT ?x ?y [DISTINCT] WHERE P: the
+// solutions of Where projected onto Vars, deduplicated when Distinct
+// is set. A nil Vars projects every variable (SELECT *). Select is
+// only meaningful as the outermost node of a query; the parser never
+// produces a nested one.
+type Select struct {
+	Vars     []rdf.Term // projected variables, in declared order; nil = *
+	Distinct bool
+	Where    Pattern
+}
+
 func (Triple) isPattern() {}
 func (Binary) isPattern() {}
+func (Filter) isPattern() {}
+func (Select) isPattern() {}
 
-func (t Triple) String() string { return t.T.String() }
+func (t Triple) String() string {
+	return fmt.Sprintf("(%s, %s, %s)", quoteTerm(t.T.S), quoteTerm(t.T.P), quoteTerm(t.T.O))
+}
 
 func (b Binary) String() string {
 	return fmt.Sprintf("(%s %s %s)", b.Left, b.Op, b.Right)
+}
+
+func (f Filter) String() string {
+	return fmt.Sprintf("(%s FILTER %s)", f.Where, f.Cond)
+}
+
+func (s Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if len(s.Vars) == 0 {
+		b.WriteString("*")
+	} else {
+		for i, v := range s.Vars {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(v.String())
+		}
+	}
+	b.WriteString(" WHERE ")
+	b.WriteString(s.Where.String())
+	return b.String()
 }
 
 // TP builds a triple-pattern leaf.
@@ -133,12 +182,17 @@ func walkTriples(p Pattern, f func(rdf.Triple)) {
 	case Binary:
 		walkTriples(q.Left, f)
 		walkTriples(q.Right, f)
+	case Filter:
+		// Filter conditions bind nothing: vars(P FILTER R) = vars(P).
+		walkTriples(q.Where, f)
+	case Select:
+		walkTriples(q.Where, f)
 	default:
 		panic(fmt.Sprintf("sparql: unknown pattern %T", p))
 	}
 }
 
-// IsUnionFree reports whether P uses only AND and OPT.
+// IsUnionFree reports whether P uses only AND, OPT and FILTER.
 func IsUnionFree(p Pattern) bool {
 	switch q := p.(type) {
 	case Triple:
@@ -148,6 +202,10 @@ func IsUnionFree(p Pattern) bool {
 			return false
 		}
 		return IsUnionFree(q.Left) && IsUnionFree(q.Right)
+	case Filter:
+		return IsUnionFree(q.Where)
+	case Select:
+		return IsUnionFree(q.Where)
 	}
 	return false
 }
@@ -170,13 +228,18 @@ func Size(p Pattern) int {
 	return n
 }
 
-// Clone returns a structural copy of the pattern.
+// Clone returns a structural copy of the pattern. Filter conditions
+// and projection lists are immutable by convention and shared.
 func Clone(p Pattern) Pattern {
 	switch q := p.(type) {
 	case Triple:
 		return q
 	case Binary:
 		return Binary{Op: q.Op, Left: Clone(q.Left), Right: Clone(q.Right)}
+	case Filter:
+		return Filter{Where: Clone(q.Where), Cond: q.Cond}
+	case Select:
+		return Select{Vars: q.Vars, Distinct: q.Distinct, Where: Clone(q.Where)}
 	}
 	panic("sparql: unknown pattern type")
 }
@@ -190,6 +253,20 @@ func Equal(p, q Pattern) bool {
 	case Binary:
 		b, ok := q.(Binary)
 		return ok && a.Op == b.Op && Equal(a.Left, b.Left) && Equal(a.Right, b.Right)
+	case Filter:
+		b, ok := q.(Filter)
+		return ok && ExprEqual(a.Cond, b.Cond) && Equal(a.Where, b.Where)
+	case Select:
+		b, ok := q.(Select)
+		if !ok || a.Distinct != b.Distinct || len(a.Vars) != len(b.Vars) {
+			return false
+		}
+		for i := range a.Vars {
+			if a.Vars[i] != b.Vars[i] {
+				return false
+			}
+		}
+		return Equal(a.Where, b.Where)
 	}
 	return false
 }
@@ -218,7 +295,7 @@ func format(b *strings.Builder, p Pattern, depth int) {
 	switch q := p.(type) {
 	case Triple:
 		b.WriteString(indent)
-		b.WriteString(q.T.String())
+		b.WriteString(q.String())
 		b.WriteByte('\n')
 	case Binary:
 		b.WriteString(indent)
@@ -232,5 +309,35 @@ func format(b *strings.Builder, p Pattern, depth int) {
 		b.WriteString(indent)
 		b.WriteByte(')')
 		b.WriteByte('\n')
+	case Filter:
+		b.WriteString(indent)
+		b.WriteByte('(')
+		b.WriteByte('\n')
+		format(b, q.Where, depth+1)
+		b.WriteString(indent)
+		b.WriteString("FILTER ")
+		b.WriteString(q.Cond.String())
+		b.WriteByte('\n')
+		b.WriteString(indent)
+		b.WriteByte(')')
+		b.WriteByte('\n')
+	case Select:
+		b.WriteString(indent)
+		b.WriteString("SELECT ")
+		if q.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		if len(q.Vars) == 0 {
+			b.WriteString("*")
+		} else {
+			for i, v := range q.Vars {
+				if i > 0 {
+					b.WriteByte(' ')
+				}
+				b.WriteString(v.String())
+			}
+		}
+		b.WriteString(" WHERE\n")
+		format(b, q.Where, depth)
 	}
 }

@@ -150,8 +150,66 @@ func (e *rowEvaluator) eval(p Pattern) *rdf.IDMappingSet {
 			out.AddAll(right)
 			return out
 		}
+	case Filter:
+		return e.applyFilter(e.eval(q.Where), q.Cond)
 	}
 	panic("sparql: unknown pattern type in Eval")
+}
+
+// applyFilter computes σ_R(set): the rows on which the condition
+// evaluates to true under the three-valued semantics.
+func (e *rowEvaluator) applyFilter(set *rdf.IDMappingSet, cond Expr) *rdf.IDMappingSet {
+	out := e.newSet()
+	slotOf := e.layout.Slot
+	lookup := e.g.Dict().LookupIRI
+	set.Each(func(r rdf.Row) bool {
+		if EvalExpr(cond, r, slotOf, lookup) == TriTrue {
+			out.Add(r)
+		}
+		return true
+	})
+	return out
+}
+
+// projectIDSet maps a full-width result set onto the projection of a
+// SELECT: a fresh layout holding the projected variables in declared
+// order (or every variable for SELECT *). Sets are deduplicated by
+// construction, so the result is the DISTINCT projection either way —
+// the streaming pipeline's non-DISTINCT duplicate multiplicity has no
+// set-level counterpart.
+func projectIDSet(set *rdf.IDMappingSet, vars []rdf.Term, maxID int) *rdf.IDMappingSet {
+	full := set.Layout()
+	proj := rdf.NewSlotLayout()
+	var slots []int
+	if len(vars) == 0 {
+		for s := 0; s < full.Width(); s++ {
+			proj.Intern(full.Name(s))
+			slots = append(slots, s)
+		}
+	} else {
+		for _, v := range vars {
+			proj.Intern(v.Value)
+			s, ok := full.Slot(v.Value)
+			if !ok {
+				s = -1 // projected var absent from the pattern: stays unbound
+			}
+			slots = append(slots, s)
+		}
+	}
+	out := rdf.NewIDMappingSet(proj, maxID)
+	buf := proj.NewRow()
+	set.Each(func(r rdf.Row) bool {
+		for i, s := range slots {
+			if s >= 0 {
+				buf[i] = r[s]
+			} else {
+				buf[i] = rdf.Unbound
+			}
+		}
+		out.Add(buf)
+		return true
+	})
+	return out
 }
 
 // join computes {µ1 ∪ µ2 | compatible}.
@@ -192,9 +250,18 @@ func (e *rowEvaluator) leftOuter(a, b *rdf.IDMappingSet, shared []int) *rdf.IDMa
 }
 
 // EvalID computes ⟦P⟧G by the compositional semantics as a row set
-// (the set carries the pattern's slot layout).
+// (the set carries the pattern's slot layout — the projected layout
+// for SELECT queries).
 func EvalID(p Pattern, g *rdf.Graph) *rdf.IDMappingSet {
-	return newRowEvaluator(p, g).eval(p)
+	sel, isSel := p.(Select)
+	if isSel {
+		p = sel.Where
+	}
+	set := newRowEvaluator(p, g).eval(p)
+	if isSel {
+		set = projectIDSet(set, sel.Vars, g.Dict().NumIRIs())
+	}
+	return set
 }
 
 // Eval computes ⟦P⟧G by the compositional semantics, decoding the row
@@ -208,6 +275,16 @@ func Eval(p Pattern, g *rdf.Graph) *rdf.MappingSet {
 // encoded once; a mapping that mentions a variable outside vars(P) or
 // a value outside dom(G) cannot be a solution.
 func Contains(p Pattern, g *rdf.Graph, mu rdf.Mapping) bool {
+	if _, isSel := p.(Select); isSel {
+		// Projection loses the full-row structure; decide membership on
+		// the projected result set.
+		set := EvalID(p, g)
+		row, ok := set.Layout().EncodeMapping(g.Dict(), mu)
+		if !ok {
+			return false
+		}
+		return set.ContainsRow(row)
+	}
 	e := newRowEvaluator(p, g)
 	row, ok := e.layout.EncodeMapping(g.Dict(), mu)
 	if !ok {

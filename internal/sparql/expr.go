@@ -1,0 +1,310 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wdsparql/internal/rdf"
+)
+
+// This file implements the FILTER expression fragment: equality and
+// inequality between variables and IRI constants, BOUND(?x), and the
+// boolean connectives AND, OR, NOT, evaluated under the SPARQL
+// three-valued (true / false / error) semantics. The fragment is the
+// filter language of Mengel & Skritek's projection/filter study
+// restricted to the IRI-only data model of this module: no arithmetic,
+// no regular expressions, no datatypes.
+//
+// The safety condition lives in welldesigned.go: a pattern
+// (P FILTER R) is accepted only when vars(R) ⊆ vars(P), so a filter
+// can never mention a variable outside the scope of the pattern it
+// restricts. BOUND is still meaningful under that condition — vars of
+// an OPT right-hand side are in scope but not necessarily bound.
+
+// Expr is a filter expression over the terms of a pattern.
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+// Cmp is the comparison Left = Right (or Left != Right when Neq is
+// set) between two operands, each a variable or an IRI constant.
+type Cmp struct {
+	Left, Right rdf.Term
+	Neq         bool
+}
+
+// Bound is BOUND(?x): true when the solution binds the variable.
+type Bound struct {
+	Var rdf.Term
+}
+
+// ExprOp identifies a binary boolean connective.
+type ExprOp uint8
+
+const (
+	// ExprAnd is conjunction.
+	ExprAnd ExprOp = iota
+	// ExprOr is disjunction.
+	ExprOr
+)
+
+// String returns the concrete spelling of the connective.
+func (o ExprOp) String() string {
+	if o == ExprOr {
+		return "OR"
+	}
+	return "AND"
+}
+
+// ExprBinary is Left op Right for op ∈ {AND, OR}.
+type ExprBinary struct {
+	Op          ExprOp
+	Left, Right Expr
+}
+
+// ExprNot is NOT X.
+type ExprNot struct {
+	X Expr
+}
+
+func (Cmp) isExpr()        {}
+func (Bound) isExpr()      {}
+func (ExprBinary) isExpr() {}
+func (ExprNot) isExpr()    {}
+
+func (c Cmp) String() string {
+	op := "="
+	if c.Neq {
+		op = "!="
+	}
+	return fmt.Sprintf("%s %s %s", quoteTerm(c.Left), op, quoteTerm(c.Right))
+}
+
+func (b Bound) String() string { return fmt.Sprintf("BOUND(%s)", b.Var) }
+
+func (e ExprBinary) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.Left, e.Op, e.Right)
+}
+
+func (e ExprNot) String() string { return fmt.Sprintf("NOT %s", e.X) }
+
+// Eq builds the comparison l = r.
+func Eq(l, r rdf.Term) Expr { return Cmp{Left: l, Right: r} }
+
+// Neq builds the comparison l != r.
+func Neq(l, r rdf.Term) Expr { return Cmp{Left: l, Right: r, Neq: true} }
+
+// ExprVars returns the sorted set of variables occurring in the
+// expression.
+func ExprVars(e Expr) []rdf.Term {
+	seen := map[rdf.Term]bool{}
+	var out []rdf.Term
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch q := e.(type) {
+		case Cmp:
+			for _, t := range [2]rdf.Term{q.Left, q.Right} {
+				if t.IsVar() && !seen[t] {
+					seen[t] = true
+					out = append(out, t)
+				}
+			}
+		case Bound:
+			if !seen[q.Var] {
+				seen[q.Var] = true
+				out = append(out, q.Var)
+			}
+		case ExprBinary:
+			walk(q.Left)
+			walk(q.Right)
+		case ExprNot:
+			walk(q.X)
+		default:
+			panic(fmt.Sprintf("sparql: unknown expression %T", e))
+		}
+	}
+	walk(e)
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// ExprEqual reports structural equality of two expressions.
+func ExprEqual(a, b Expr) bool {
+	switch x := a.(type) {
+	case Cmp:
+		y, ok := b.(Cmp)
+		return ok && x == y
+	case Bound:
+		y, ok := b.(Bound)
+		return ok && x == y
+	case ExprBinary:
+		y, ok := b.(ExprBinary)
+		return ok && x.Op == y.Op && ExprEqual(x.Left, y.Left) && ExprEqual(x.Right, y.Right)
+	case ExprNot:
+		y, ok := b.(ExprNot)
+		return ok && ExprEqual(x.X, y.X)
+	}
+	return false
+}
+
+// RenameExprVars applies a variable renaming to the expression,
+// mirroring RenameVars on patterns. Constants are never renamed.
+func RenameExprVars(e Expr, rename map[string]string) Expr {
+	renameTerm := func(t rdf.Term) rdf.Term {
+		if t.IsVar() {
+			if to, ok := rename[t.Value]; ok {
+				t.Value = to
+			}
+		}
+		return t
+	}
+	switch q := e.(type) {
+	case Cmp:
+		return Cmp{Left: renameTerm(q.Left), Right: renameTerm(q.Right), Neq: q.Neq}
+	case Bound:
+		return Bound{Var: renameTerm(q.Var)}
+	case ExprBinary:
+		return ExprBinary{Op: q.Op, Left: RenameExprVars(q.Left, rename), Right: RenameExprVars(q.Right, rename)}
+	case ExprNot:
+		return ExprNot{X: RenameExprVars(q.X, rename)}
+	}
+	panic(fmt.Sprintf("sparql: unknown expression %T", e))
+}
+
+// Conjuncts splits the expression at its top-level ANDs. A solution
+// satisfies the expression (evaluates to true) iff it satisfies every
+// conjunct: false or error in any conjunct makes the conjunction not
+// true, so top-level splitting is sound for the accept/drop decision
+// even under the three-valued semantics.
+func Conjuncts(e Expr) []Expr {
+	if b, ok := e.(ExprBinary); ok && b.Op == ExprAnd {
+		return append(Conjuncts(b.Left), Conjuncts(b.Right)...)
+	}
+	return []Expr{e}
+}
+
+// Tri is a three-valued truth value (SPARQL's true / false / error).
+type Tri int8
+
+const (
+	// TriFalse is boolean false.
+	TriFalse Tri = iota
+	// TriTrue is boolean true.
+	TriTrue
+	// TriErr is the error value produced by a comparison on an
+	// unbound variable. A solution passes a filter only on TriTrue.
+	TriErr
+)
+
+// EvalExpr evaluates the expression against a solution row under the
+// SPARQL three-valued semantics: a comparison whose operand variable
+// is unbound in the row evaluates to error; BOUND never errors;
+// AND(false, error) = false, OR(true, error) = true, NOT error =
+// error. slotOf resolves a variable name to its row slot; lookup
+// resolves an IRI constant to its TermID (false when the IRI is not in
+// the dictionary, in which case the constant compares unequal to every
+// bound value).
+func EvalExpr(e Expr, row rdf.Row, slotOf func(string) (int, bool), lookup func(string) (rdf.TermID, bool)) Tri {
+	switch q := e.(type) {
+	case Cmp:
+		// operand returns the row value of a variable (ok=false when
+		// unbound → error) or the resolved constant.
+		operand := func(t rdf.Term) (rdf.TermID, bool, bool) { // value, isAbsentConst, ok
+			if t.IsVar() {
+				s, have := slotOf(t.Value)
+				if !have || row[s] == rdf.Unbound {
+					return 0, false, false
+				}
+				return row[s], false, true
+			}
+			id, have := lookup(t.Value)
+			if !have {
+				return 0, true, true
+			}
+			return id, false, true
+		}
+		av, aAbsent, aok := operand(q.Left)
+		bv, bAbsent, bok := operand(q.Right)
+		if !aok || !bok {
+			return TriErr
+		}
+		var equal bool
+		switch {
+		case aAbsent && bAbsent:
+			// Two constants outside the dictionary still compare by
+			// identity.
+			equal = q.Left.Value == q.Right.Value
+		case aAbsent || bAbsent:
+			equal = false
+		default:
+			equal = av == bv
+		}
+		if equal != q.Neq {
+			return TriTrue
+		}
+		return TriFalse
+	case Bound:
+		if s, have := slotOf(q.Var.Value); have && row[s] != rdf.Unbound {
+			return TriTrue
+		}
+		return TriFalse
+	case ExprBinary:
+		l := EvalExpr(q.Left, row, slotOf, lookup)
+		r := EvalExpr(q.Right, row, slotOf, lookup)
+		if q.Op == ExprAnd {
+			if l == TriFalse || r == TriFalse {
+				return TriFalse
+			}
+			if l == TriErr || r == TriErr {
+				return TriErr
+			}
+			return TriTrue
+		}
+		if l == TriTrue || r == TriTrue {
+			return TriTrue
+		}
+		if l == TriErr || r == TriErr {
+			return TriErr
+		}
+		return TriFalse
+	case ExprNot:
+		switch EvalExpr(q.X, row, slotOf, lookup) {
+		case TriTrue:
+			return TriFalse
+		case TriFalse:
+			return TriTrue
+		}
+		return TriErr
+	}
+	panic(fmt.Sprintf("sparql: unknown expression %T", e))
+}
+
+// quoteTerm renders a term for the concrete syntax: variables with
+// their "?" sigil, IRIs bare unless they collide with the lexer (a
+// delimiter character or a keyword), in which case they are
+// angle-quoted. This is the inverse of the parser's term lexing, so
+// Format/String output always re-parses to the same pattern.
+func quoteTerm(t rdf.Term) string {
+	if t.IsVar() {
+		return t.String()
+	}
+	if iriNeedsQuoting(t.Value) {
+		return "<" + t.Value + ">"
+	}
+	return t.Value
+}
+
+// iriNeedsQuoting reports whether a bare rendering of the IRI would
+// not lex back as a single plain term.
+func iriNeedsQuoting(v string) bool {
+	if v == "" || strings.ContainsAny(v, " \t\n\r,()#<>=!?") {
+		return true
+	}
+	switch v {
+	case "AND", "OPT", "OPTIONAL", "UNION", "FILTER", "SELECT", "DISTINCT", "WHERE", "BOUND", "NOT", "OR", "*":
+		return true
+	}
+	return false
+}

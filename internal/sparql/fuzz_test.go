@@ -23,6 +23,18 @@ func FuzzParsePattern(f *testing.F) {
 	// Regression: "??" used to double-strip into an empty-named
 	// variable that Format printed as unparseable "?".
 	f.Add(`(?? 0 0)`)
+	// Angle-quoted IRIs: the lexer must honour <...> through spaces,
+	// parens, commas and keywords (regression for the token-split bug).
+	f.Add(`(?x <http://ex.org/p#frag(1)> ?y)`)
+	f.Add(`(?x <a b,c> <AND>)`)
+	f.Add(`(?x <unterminated ?y)`)
+	// FILTER / SELECT productions.
+	f.Add(`((?x p ?y) FILTER ?x = a)`)
+	f.Add(`((?x p ?y) FILTER ?x != ?y FILTER BOUND(?y))`)
+	f.Add(`(((?x p ?y) OPT (?y q ?z)) FILTER NOT BOUND(?z) OR ?x = a AND ?y != b)`)
+	f.Add(`SELECT DISTINCT ?x ?y WHERE ((?x p ?y) FILTER (?x = a OR NOT ?y = b))`)
+	f.Add(`SELECT * WHERE (?x p ?y) UNION (?x q ?y)`)
+	f.Add(`SELECT ?x WHERE FILTER`)
 	f.Fuzz(func(t *testing.T, src string) {
 		p, err := Parse(src)
 		if err != nil {

@@ -25,7 +25,15 @@ func EvalHashJoin(p Pattern, g *rdf.Graph) *rdf.MappingSet {
 
 // EvalHashJoinID is EvalHashJoin without the boundary decode.
 func EvalHashJoinID(p Pattern, g *rdf.Graph) *rdf.IDMappingSet {
-	return newRowEvaluator(p, g).evalHash(p)
+	sel, isSel := p.(Select)
+	if isSel {
+		p = sel.Where
+	}
+	set := newRowEvaluator(p, g).evalHash(p)
+	if isSel {
+		set = projectIDSet(set, sel.Vars, g.Dict().NumIRIs())
+	}
+	return set
 }
 
 func (e *rowEvaluator) evalHash(p Pattern) *rdf.IDMappingSet {
@@ -65,6 +73,8 @@ func (e *rowEvaluator) evalHash(p Pattern) *rdf.IDMappingSet {
 			out.AddAll(right)
 			return out
 		}
+	case Filter:
+		return e.applyFilter(e.evalHash(q.Where), q.Cond)
 	}
 	panic("sparql: unknown pattern type in EvalHashJoin")
 }

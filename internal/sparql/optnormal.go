@@ -20,7 +20,9 @@ import (
 // compositional semantics.
 
 // IsOptNormalForm reports whether the UNION-free pattern has no OPT
-// under an AND.
+// under an AND. The normal form is defined on the paper's AND/OPT
+// fragment: FILTER and SELECT nodes are outside it, so any pattern
+// containing them reports false.
 func IsOptNormalForm(p Pattern) bool {
 	switch q := p.(type) {
 	case Triple:
@@ -48,13 +50,31 @@ func andFreeOfOpt(p Pattern) bool {
 	return false
 }
 
+// hasFilterOrSelect reports whether the pattern contains a FILTER or
+// SELECT node anywhere.
+func hasFilterOrSelect(p Pattern) bool {
+	switch q := p.(type) {
+	case Triple:
+		return false
+	case Binary:
+		return hasFilterOrSelect(q.Left) || hasFilterOrSelect(q.Right)
+	}
+	return true // Filter, Select, or unknown
+}
+
 // ToOptNormalForm rewrites a UNION-free well-designed pattern into an
 // equivalent pattern in OPT normal form. It returns an error on
 // patterns containing UNION or failing the well-designedness test
-// (the rewrite rules are only sound for well-designed patterns).
+// (the rewrite rules are only sound for well-designed patterns), and
+// on patterns containing FILTER or SELECT, which are outside the
+// normal form's AND/OPT fragment (the pattern-tree translation of
+// internal/ptree handles those directly).
 func ToOptNormalForm(p Pattern) (Pattern, error) {
 	if !IsUnionFree(p) {
 		return nil, fmt.Errorf("sparql: OPT normal form requires a UNION-free pattern")
+	}
+	if hasFilterOrSelect(p) {
+		return nil, fmt.Errorf("sparql: OPT normal form is defined on the FILTER-free AND/OPT fragment")
 	}
 	if err := CheckWellDesigned(p); err != nil {
 		return nil, err

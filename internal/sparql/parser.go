@@ -8,18 +8,33 @@ import (
 )
 
 // This file implements a recursive-descent parser for the paper's
-// concrete pattern syntax:
+// concrete pattern syntax, extended with FILTER and a SELECT wrapper:
 //
-//	pattern  := unit { OP unit }            (all OPs at one level equal)
-//	unit     := '(' pattern OP pattern ')'  (binary combination)
-//	          | '(' term term term ')'      (triple pattern)
-//	term     := '?'name                     (variable)
-//	          | name                        (IRI)
+//	query    := pattern
+//	          | SELECT [DISTINCT] ('*' | '?'name...) WHERE pattern
+//	pattern  := unit { OP unit } { FILTER expr }
+//	unit     := '(' pattern ')'                 (grouping / binary combination)
+//	          | '(' term term term ')'          (triple pattern)
+//	expr     := andExpr { OR andExpr }
+//	andExpr  := notExpr { AND notExpr }
+//	notExpr  := (NOT | '!') notExpr | primary
+//	primary  := '(' expr ')'
+//	          | BOUND '(' '?'name ')'
+//	          | term ('=' | '!=') term
+//	term     := '?'name                         (variable)
+//	          | name                            (IRI)
+//	          | '<' any '>'                     (angle-quoted IRI)
 //
 // Commas between the terms of a triple pattern are accepted and
 // ignored, so the paper's "(?x, p, ?y)" parses as written. Operators
 // at one nesting level must be identical; mixing AND/OPT/UNION without
-// parentheses is rejected as ambiguous.
+// parentheses is rejected as ambiguous. FILTER clauses terminate their
+// group: they apply to the whole sequence to their left, and only
+// further FILTERs (or the closing parenthesis) may follow. Inside
+// angle quotes every character except '>' is part of the IRI — in
+// particular '#', which starts a comment everywhere else — so
+// real-world fragment IRIs like <http://example.org/ns#name> parse as
+// one term. An unterminated '<' is a syntax error, as is a stray '>'.
 
 type tokenKind uint8
 
@@ -28,6 +43,8 @@ const (
 	tokRParen
 	tokOp
 	tokTerm
+	tokCmp // "=" or "!="
+	tokNot // "!"
 	tokEOF
 )
 
@@ -58,9 +75,31 @@ func (l *lexer) next() (token, error) {
 		case c == ')':
 			l.pos++
 			return token{kind: tokRParen, text: ")", pos: l.pos - 1}, nil
+		case c == '<':
+			// Angle-quoted IRI: one term through the closing '>',
+			// shielding '#', ',', parentheses and every other delimiter.
+			start := l.pos
+			end := strings.IndexByte(l.in[start+1:], '>')
+			if end < 0 {
+				return token{}, fmt.Errorf("sparql: pos %d: unterminated '<' (no closing '>')", start)
+			}
+			l.pos = start + 1 + end + 1
+			return token{kind: tokTerm, text: l.in[start:l.pos], pos: start}, nil
+		case c == '>':
+			return token{}, fmt.Errorf("sparql: pos %d: unexpected '>' (angle-quoted IRIs open with '<')", l.pos)
+		case c == '=':
+			l.pos++
+			return token{kind: tokCmp, text: "=", pos: l.pos - 1}, nil
+		case c == '!':
+			if l.pos+1 < len(l.in) && l.in[l.pos+1] == '=' {
+				l.pos += 2
+				return token{kind: tokCmp, text: "!=", pos: l.pos - 2}, nil
+			}
+			l.pos++
+			return token{kind: tokNot, text: "!", pos: l.pos - 1}, nil
 		default:
 			start := l.pos
-			for l.pos < len(l.in) && !strings.ContainsRune(" \t\n\r,()#", rune(l.in[l.pos])) {
+			for l.pos < len(l.in) && !strings.ContainsRune(" \t\n\r,()#<>=!", rune(l.in[l.pos])) {
 				l.pos++
 			}
 			text := l.in[start:l.pos]
@@ -107,6 +146,11 @@ func (p *parser) expect(kind tokenKind, what string) (token, error) {
 	return t, nil
 }
 
+// keyword reports whether the token is the given bare keyword. Angle
+// quoting always wins: "<FILTER>" lexes as a term whose text keeps the
+// brackets, so it never matches here.
+func (t token) keyword(kw string) bool { return t.kind == tokTerm && t.text == kw }
+
 func opOf(text string) Op {
 	switch text {
 	case "AND":
@@ -119,6 +163,14 @@ func opOf(text string) Op {
 }
 
 func parseTerm(text string, pos int) (rdf.Term, error) {
+	if strings.HasPrefix(text, "<") {
+		// The lexer only emits a '<'-leading term with its closing '>'.
+		v := strings.TrimSuffix(strings.TrimPrefix(text, "<"), ">")
+		if v == "" {
+			return rdf.Term{}, fmt.Errorf("sparql: pos %d: empty IRI", pos)
+		}
+		return rdf.IRI(v), nil
+	}
 	if strings.HasPrefix(text, "?") {
 		name := strings.TrimPrefix(text, "?")
 		if name == "" {
@@ -132,14 +184,10 @@ func parseTerm(text string, pos int) (rdf.Term, error) {
 		}
 		return rdf.Var(name), nil
 	}
-	v := text
-	if strings.HasPrefix(v, "<") && strings.HasSuffix(v, ">") {
-		v = strings.TrimSuffix(strings.TrimPrefix(v, "<"), ">")
-	}
-	if v == "" {
+	if text == "" {
 		return rdf.Term{}, fmt.Errorf("sparql: pos %d: empty IRI", pos)
 	}
-	return rdf.IRI(v), nil
+	return rdf.IRI(text), nil
 }
 
 // parseUnit parses a parenthesised triple pattern or binary expression.
@@ -180,8 +228,10 @@ func (p *parser) parseUnit() (Pattern, error) {
 	return inner, nil
 }
 
-// parseSeq parses unit { OP unit } until the stop token kind is peeked.
-// All operators in one sequence must be identical.
+// parseSeq parses unit { OP unit } { FILTER expr } until the stop
+// token kind is peeked. All operators in one sequence must be
+// identical, and FILTER clauses terminate the sequence: each applies
+// to everything parsed so far, and only further FILTERs may follow.
 func (p *parser) parseSeq(stop tokenKind) (Pattern, error) {
 	left, err := p.parseUnit()
 	if err != nil {
@@ -195,6 +245,9 @@ func (p *parser) parseSeq(stop tokenKind) (Pattern, error) {
 		}
 		if t.kind == stop || t.kind == tokEOF {
 			return left, nil
+		}
+		if t.keyword("FILTER") {
+			return p.parseFilters(left, stop)
 		}
 		opTok, err := p.expect(tokOp, "operator")
 		if err != nil {
@@ -214,11 +267,247 @@ func (p *parser) parseSeq(stop tokenKind) (Pattern, error) {
 	}
 }
 
-// Parse parses a graph pattern from the concrete syntax described at
-// the top of this file.
+// parseFilters parses the trailing FILTER clauses of a sequence,
+// wrapping left once per clause (inner to outer in source order).
+func (p *parser) parseFilters(left Pattern, stop tokenKind) (Pattern, error) {
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == stop || t.kind == tokEOF {
+			return left, nil
+		}
+		if !t.keyword("FILTER") {
+			return nil, fmt.Errorf("sparql: pos %d: expected FILTER or end of group, got %q (FILTER clauses must come last)", t.pos, t.text)
+		}
+		if _, err := p.advance(); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = Filter{Where: left, Cond: cond}
+	}
+}
+
+// parseExpr parses a filter expression with the precedence
+// OR < AND < NOT < comparison.
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseAndExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if !t.keyword("OR") {
+			return left, nil
+		}
+		if _, err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAndExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = ExprBinary{Op: ExprOr, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseAndExpr() (Expr, error) {
+	left, err := p.parseNotExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if !(t.kind == tokOp && t.text == "AND") {
+			return left, nil
+		}
+		if _, err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseNotExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = ExprBinary{Op: ExprAnd, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseNotExpr() (Expr, error) {
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind == tokNot || t.keyword("NOT") {
+		if _, err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseNotExpr()
+		if err != nil {
+			return nil, err
+		}
+		return ExprNot{X: x}, nil
+	}
+	return p.parseExprPrimary()
+}
+
+func (p *parser) parseExprPrimary() (Expr, error) {
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind == tokLParen {
+		if _, err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	if t.keyword("BOUND") {
+		if _, err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen, "'(' after BOUND"); err != nil {
+			return nil, err
+		}
+		tk, err := p.expect(tokTerm, "variable")
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseTerm(tk.text, tk.pos)
+		if err != nil {
+			return nil, err
+		}
+		if !v.IsVar() {
+			return nil, fmt.Errorf("sparql: pos %d: BOUND takes a variable, got %q", tk.pos, tk.text)
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return Bound{Var: v}, nil
+	}
+	// Comparison: term (= | !=) term.
+	lt, err := p.expect(tokTerm, "term or '(' in filter expression")
+	if err != nil {
+		return nil, err
+	}
+	lv, err := parseTerm(lt.text, lt.pos)
+	if err != nil {
+		return nil, err
+	}
+	opTok, err := p.expect(tokCmp, "'=' or '!='")
+	if err != nil {
+		return nil, err
+	}
+	rt, err := p.expect(tokTerm, "term")
+	if err != nil {
+		return nil, err
+	}
+	rv, err := parseTerm(rt.text, rt.pos)
+	if err != nil {
+		return nil, err
+	}
+	return Cmp{Left: lv, Right: rv, Neq: opTok.text == "!="}, nil
+}
+
+// parseSelect parses the SELECT wrapper; the SELECT keyword itself is
+// already consumed.
+func (p *parser) parseSelect() (Pattern, error) {
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	distinct := false
+	if t.keyword("DISTINCT") {
+		distinct = true
+		if _, err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err = p.peek()
+		if err != nil {
+			return nil, err
+		}
+	}
+	var vars []rdf.Term
+	if t.keyword("*") {
+		if _, err := p.advance(); err != nil {
+			return nil, err
+		}
+	} else {
+		seen := map[rdf.Term]bool{}
+		for {
+			t, err = p.peek()
+			if err != nil {
+				return nil, err
+			}
+			if t.keyword("WHERE") {
+				break
+			}
+			tk, err := p.expect(tokTerm, "projection variable or WHERE")
+			if err != nil {
+				return nil, err
+			}
+			v, err := parseTerm(tk.text, tk.pos)
+			if err != nil {
+				return nil, err
+			}
+			if !v.IsVar() {
+				return nil, fmt.Errorf("sparql: pos %d: SELECT projects variables, got %q", tk.pos, tk.text)
+			}
+			if seen[v] {
+				return nil, fmt.Errorf("sparql: pos %d: duplicate projection variable %s", tk.pos, v)
+			}
+			seen[v] = true
+			vars = append(vars, v)
+		}
+		if len(vars) == 0 {
+			return nil, fmt.Errorf("sparql: pos %d: SELECT needs at least one variable or '*'", t.pos)
+		}
+	}
+	if tk, err := p.advance(); err != nil {
+		return nil, err
+	} else if !tk.keyword("WHERE") {
+		return nil, fmt.Errorf("sparql: pos %d: expected WHERE, got %q", tk.pos, tk.text)
+	}
+	where, err := p.parseSeq(tokEOF)
+	if err != nil {
+		return nil, err
+	}
+	return Select{Vars: vars, Distinct: distinct, Where: where}, nil
+}
+
+// Parse parses a graph pattern — or a SELECT query over one — from the
+// concrete syntax described at the top of this file.
 func Parse(input string) (Pattern, error) {
 	p := &parser{lex: &lexer{in: input}}
-	pat, err := p.parseSeq(tokEOF)
+	first, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	var pat Pattern
+	if first.keyword("SELECT") {
+		if _, err := p.advance(); err != nil {
+			return nil, err
+		}
+		pat, err = p.parseSelect()
+	} else {
+		pat, err = p.parseSeq(tokEOF)
+	}
 	if err != nil {
 		return nil, err
 	}

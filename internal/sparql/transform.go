@@ -2,6 +2,8 @@ package sparql
 
 import (
 	"fmt"
+
+	"wdsparql/internal/rdf"
 )
 
 // This file implements the UNION-normal-form transformation used
@@ -66,6 +68,20 @@ func HoistUnions(p Pattern) ([]Pattern, error) {
 			}
 			return out, nil
 		}
+	case Filter:
+		// σ_R(P1 UNION P2) ≡ σ_R(P1) UNION σ_R(P2): the condition
+		// distributes over every hoisted branch.
+		branches, err := HoistUnions(q.Where)
+		if err != nil {
+			return nil, err
+		}
+		var out []Pattern
+		for _, b := range branches {
+			out = append(out, Filter{Where: b, Cond: q.Cond})
+		}
+		return out, nil
+	case Select:
+		return nil, fmt.Errorf("sparql: SELECT is a query wrapper, not a graph pattern operand")
 	}
 	return nil, fmt.Errorf("sparql: unknown pattern %T", p)
 }
@@ -99,6 +115,17 @@ func RenameVars(p Pattern, rename map[string]string) Pattern {
 		return Triple{T: t}
 	case Binary:
 		return Binary{Op: q.Op, Left: RenameVars(q.Left, rename), Right: RenameVars(q.Right, rename)}
+	case Filter:
+		return Filter{Where: RenameVars(q.Where, rename), Cond: RenameExprVars(q.Cond, rename)}
+	case Select:
+		vars := make([]rdf.Term, len(q.Vars))
+		for i, v := range q.Vars {
+			vars[i] = v
+			if to, ok := rename[v.Value]; ok {
+				vars[i].Value = to
+			}
+		}
+		return Select{Vars: vars, Distinct: q.Distinct, Where: RenameVars(q.Where, rename)}
 	}
 	panic("sparql: unknown pattern type")
 }

@@ -16,27 +16,48 @@ import (
 // WellDesignedError describes a violation of the well-designedness
 // condition, pinpointing the offending OPT subpattern and variable.
 type WellDesignedError struct {
-	// Sub is the violating subpattern P' = (P1 OPT P2), or nil when
-	// the violation is structural (UNION below AND/OPT).
+	// Sub is the violating subpattern P' = (P1 OPT P2) — or, for an
+	// unsafe filter, the (P FILTER R) subpattern — or nil when the
+	// violation is structural (UNION below AND/OPT).
 	Sub Pattern
-	// Var is the variable from P2 \ P1 that also occurs outside P'.
+	// Var is the variable from P2 \ P1 that also occurs outside P';
+	// for an unsafe filter, the filter variable outside vars(P).
 	Var rdf.Term
 	// Structural is set when the pattern is not in UNION normal form
 	// (a UNION occurs under an AND or OPT).
 	Structural bool
+	// Unsafe is set when a filter condition mentions a variable
+	// outside the scope of the pattern it restricts, or a projection
+	// variable does not occur in the pattern.
+	Unsafe bool
 }
 
 func (e *WellDesignedError) Error() string {
 	if e.Structural {
 		return "sparql: pattern is not in UNION normal form (UNION occurs below AND/OPT)"
 	}
+	if e.Unsafe {
+		return fmt.Sprintf("sparql: unsafe: variable %s of %s is outside the pattern's scope", e.Var, e.Sub)
+	}
 	return fmt.Sprintf("sparql: not well-designed: variable %s of the optional side of %s occurs outside it", e.Var, e.Sub)
 }
 
 // CheckWellDesigned verifies that P is a well-designed graph pattern
-// in the paper's sense. It returns nil on success and a
+// in the paper's sense, extended over the FILTER/SELECT fragment by
+// the safety condition: every (P' FILTER R) subpattern must have
+// vars(R) ⊆ vars(P'), and every projected variable of a SELECT must
+// occur in its WHERE pattern. It returns nil on success and a
 // *WellDesignedError describing the first violation otherwise.
 func CheckWellDesigned(p Pattern) error {
+	if sel, ok := p.(Select); ok {
+		whereVars := varSet(sel.Where)
+		for _, v := range sel.Vars {
+			if !whereVars[v] {
+				return &WellDesignedError{Sub: sel.Where, Var: v, Unsafe: true}
+			}
+		}
+		p = sel.Where
+	}
 	for _, branch := range UnionBranches(p) {
 		if !IsUnionFree(branch) {
 			return &WellDesignedError{Structural: true}
@@ -44,8 +65,37 @@ func CheckWellDesigned(p Pattern) error {
 		if err := checkBranch(branch); err != nil {
 			return err
 		}
+		if err := checkFilterSafety(branch); err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// checkFilterSafety verifies vars(R) ⊆ vars(P') for every subpattern
+// (P' FILTER R). A nested SELECT is not part of the fragment and is
+// reported as structural.
+func checkFilterSafety(p Pattern) error {
+	switch q := p.(type) {
+	case Triple:
+		return nil
+	case Binary:
+		if err := checkFilterSafety(q.Left); err != nil {
+			return err
+		}
+		return checkFilterSafety(q.Right)
+	case Filter:
+		scope := varSet(q.Where)
+		for _, v := range ExprVars(q.Cond) {
+			if !scope[v] {
+				return &WellDesignedError{Sub: q, Var: v, Unsafe: true}
+			}
+		}
+		return checkFilterSafety(q.Where)
+	case Select:
+		return &WellDesignedError{Structural: true}
+	}
+	return fmt.Errorf("sparql: unknown pattern %T", p)
 }
 
 // IsWellDesigned reports whether P is well-designed.
@@ -64,6 +114,10 @@ func checkBranch(branch Pattern) error {
 
 	var walk func(p Pattern) error
 	walk = func(p Pattern) error {
+		if f, ok := p.(Filter); ok {
+			// Filters bind nothing; the OPT condition looks through them.
+			return walk(f.Where)
+		}
 		b, ok := p.(Binary)
 		if !ok {
 			return nil

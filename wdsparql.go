@@ -167,6 +167,15 @@ func Evaluate(alg Algorithm, k int, p Pattern, g *Graph, mu Mapping) (bool, erro
 	if err != nil {
 		return false, err
 	}
+	if an.sel || an.forest.HasFilters() {
+		// FILTER/SELECT queries need the engine's membership scan;
+		// the bare decision algorithms ignore both.
+		q, err := NewEngine(g, WithAlgorithm(alg), WithPebbleK(k)).Prepare(p)
+		if err != nil {
+			return false, err
+		}
+		return q.Ask(context.Background(), mu)
+	}
 	return core.Eval(alg, k, an.forest, g, mu), nil
 }
 
@@ -174,6 +183,11 @@ func Evaluate(alg Algorithm, k int, p Pattern, g *Graph, mu Mapping) (bool, erro
 //
 // Deprecated: use Engine.PrepareForest and PreparedQuery.Ask.
 func EvaluateForest(alg Algorithm, k int, f Forest, g *Graph, mu Mapping) bool {
+	if f.HasFilters() {
+		q := NewEngine(g, WithAlgorithm(alg), WithPebbleK(k)).PrepareForest(f)
+		ok, _ := q.Ask(context.Background(), mu)
+		return ok
+	}
 	return core.Eval(alg, k, f, g, mu)
 }
 
